@@ -1,0 +1,61 @@
+// Shared scaffolding for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one of the paper's tables or figures: it
+// builds a fresh simulated testbed per case, runs the workload driver(s)
+// to completion on the virtual clock, and reports *extrapolated full-scale
+// seconds* (simulated seconds divided by the scale factor; see
+// workloads/common.hpp for the scaling model). Benchmarks use
+// google-benchmark's manual-time mode: the time column is virtual, not
+// wall-clock, and runs are deterministic so a single iteration is exact.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/gdst.hpp"
+#include "workloads/common.hpp"
+
+namespace gflink::bench {
+
+namespace df = gflink::dataflow;
+namespace core = gflink::core;
+namespace gpu = gflink::gpu;
+namespace sim = gflink::sim;
+namespace wl = gflink::workloads;
+
+/// Run one workload driver on a fresh testbed; returns the full result.
+template <typename ConfigT, typename ResultT>
+ResultT run_workload(sim::Co<ResultT> (*driver)(df::Engine&, core::GFlinkRuntime*,
+                                                const wl::Testbed&, wl::Mode, const ConfigT&),
+                     const wl::Testbed& tb, wl::Mode mode, const ConfigT& config) {
+  df::Engine engine(wl::make_engine_config(tb));
+  std::unique_ptr<core::GFlinkRuntime> runtime;
+  if (mode == wl::Mode::Gpu) {
+    wl::ensure_kernels_registered();
+    runtime = std::make_unique<core::GFlinkRuntime>(engine, wl::make_gpu_config(tb));
+  }
+  ResultT result{};
+  engine.run([&](df::Engine& eng) -> sim::Co<void> {
+    result = co_await driver(eng, runtime.get(), tb, mode, config);
+  });
+  return result;
+}
+
+/// Full-scale seconds of a run (the number the paper's figures plot).
+inline double full_seconds(sim::Duration d, const wl::Testbed& tb) {
+  return sim::to_seconds(d) / tb.scale;
+}
+
+/// Report one CPU-vs-GFlink pair through google-benchmark: the manual time
+/// is the GFlink run; counters carry both times and the speedup.
+inline void report_pair(benchmark::State& state, double cpu_seconds, double gflink_seconds,
+                        const wl::Testbed& tb) {
+  state.SetIterationTime(gflink_seconds * tb.scale);  // simulated seconds
+  state.counters["cpu_s"] = cpu_seconds;
+  state.counters["gflink_s"] = gflink_seconds;
+  state.counters["speedup"] = cpu_seconds / gflink_seconds;
+}
+
+}  // namespace gflink::bench

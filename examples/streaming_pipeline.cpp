@@ -1,0 +1,123 @@
+// Event-level streaming with GPU micro-batching — the extension the paper
+// motivates choosing Flink for (§1.1).
+//
+// A stream of sensor-style events flows through a GPU scoring operator
+// (micro-batched GWork submissions) into tumbling per-key windows. The
+// program prints the throughput/latency trade-off for three micro-batch
+// sizes.
+//
+// Build & run:  ./build/examples/streaming_pipeline
+#include <cstdio>
+#include <cstring>
+
+#include "core/streaming.hpp"
+#include "gpu/kernel.hpp"
+
+namespace df = gflink::dataflow;
+namespace core = gflink::core;
+namespace gpu = gflink::gpu;
+namespace mem = gflink::mem;
+namespace sim = gflink::sim;
+
+namespace {
+
+struct Reading {
+  std::uint64_t sensor;
+  std::int64_t value;
+};
+
+const mem::StructDesc& reading_desc() {
+  static const mem::StructDesc d =
+      mem::StructDescBuilder("Reading", 8)
+          .field("sensor", mem::FieldType::U64, 1, offsetof(Reading, sensor))
+          .field("value", mem::FieldType::I64, 1, offsetof(Reading, value))
+          .build();
+  return d;
+}
+
+void register_scoring_kernel() {
+  gpu::Kernel k;
+  k.name = "scoreReading";
+  k.cost.flops_per_item = 600.0;  // a small per-event model
+  k.cost.dram_bytes_per_item = 2.0 * sizeof(Reading);
+  k.fn = [](gpu::KernelLaunch& launch) {
+    const auto* in = reinterpret_cast<const Reading*>(launch.buffers[0].data());
+    auto* out = reinterpret_cast<Reading*>(launch.buffers.back().data());
+    for (std::size_t i = 0; i < launch.items; ++i) {
+      out[i] = Reading{in[i].sensor, (in[i].value * 7 + 3) % 1000};
+    }
+  };
+  gpu::KernelRegistry::global().register_kernel(k);
+}
+
+core::StreamingResult run_with_batch(std::size_t batch_size) {
+  df::EngineConfig config;
+  config.cluster.num_workers = 2;
+  config.job_submit_overhead = 0;
+  config.job_schedule_overhead = 0;
+  df::Engine engine(config);
+  core::GFlinkRuntime runtime(engine, core::GpuManagerConfig{});
+
+  core::StreamOp score;
+  score.kind = core::StreamOp::Kind::GpuBatch;
+  score.name = "gpuScore";
+  score.out_desc = &reading_desc();
+  score.kernel = "scoreReading";
+  score.batch_size = batch_size;
+
+  core::StreamOp window;
+  window.kind = core::StreamOp::Kind::WindowSum;
+  window.name = "windowSum";
+  window.out_desc = &reading_desc();
+  window.cost = df::OpCost{8.0, 2.0 * sizeof(Reading)};
+  window.key_fn = [](const std::byte* rec) {
+    return reinterpret_cast<const Reading*>(rec)->sensor;
+  };
+  window.combine_fn = [](std::byte* acc, const std::byte* rec) {
+    reinterpret_cast<Reading*>(acc)->value += reinterpret_cast<const Reading*>(rec)->value;
+  };
+  window.window = 256;  // one output per 256 readings per sensor
+
+  core::StreamingConfig cfg;
+  cfg.total_events = 120'000;
+  cfg.events_per_second = 1.0e6;
+  cfg.parallelism = 2;
+
+  std::vector<core::StreamOp> ops{score, window};
+  core::StreamingResult result;
+  engine.run([&](df::Engine& eng) -> sim::Co<void> {
+    df::Job job(eng, "stream");
+    co_await job.submit();
+    result = co_await core::run_streaming(
+        eng, job, &reading_desc(),
+        [](std::uint64_t i, std::byte* rec) {
+          Reading r{i % 32, static_cast<std::int64_t>(i * 31 % 997)};
+          std::memcpy(rec, &r, sizeof(r));
+        },
+        ops, cfg);
+    job.finish();
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  register_scoring_kernel();
+  std::printf("streaming: 120k events at 1M events/s, GPU scoring + 256-event windows\n\n");
+  std::printf("%-12s %16s %14s %14s %12s\n", "micro-batch", "throughput(ev/s)", "p50 lat(us)",
+              "p99 lat(us)", "GWorks");
+  for (std::size_t batch : {32UL, 256UL, 2048UL}) {
+    auto r = run_with_batch(batch);
+    // Ingest rate: the windows collapse 256 events into one sink record,
+    // so sink-side throughput would undercount by that factor.
+    const double ingest_eps =
+        static_cast<double>(r.events_in) / gflink::sim::to_seconds(r.makespan);
+    std::printf("%-12zu %16.0f %14.1f %14.1f %12llu\n", batch, ingest_eps,
+                r.latency_p50 / 1e3, r.latency_p99 / 1e3,
+                static_cast<unsigned long long>(r.gpu_batches));
+  }
+  std::printf("\nsmall batches: per-GWork overheads dominate (low throughput, queueing);\n");
+  std::printf("large batches: full throughput but events wait for their batch to fill.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+#include "core/gmemory_manager.hpp"
+
+#include <algorithm>
+
+namespace gflink::core {
+
+GMemoryManager::Region* GMemoryManager::find_region(int device, std::uint64_t job) {
+  auto& jobs = regions_.at(static_cast<std::size_t>(device));
+  auto it = jobs.find(job);
+  return it == jobs.end() ? nullptr : &it->second;
+}
+
+const GMemoryManager::Region* GMemoryManager::find_region(int device, std::uint64_t job) const {
+  const auto& jobs = regions_.at(static_cast<std::size_t>(device));
+  auto it = jobs.find(job);
+  return it == jobs.end() ? nullptr : &it->second;
+}
+
+std::optional<GMemoryManager::CacheEntry> GMemoryManager::lookup(int device, std::uint64_t job,
+                                                                 std::uint64_t key) const {
+  const Region* r = find_region(device, job);
+  if (r == nullptr) return std::nullopt;
+  auto it = r->table.find(key);
+  if (it == r->table.end()) return std::nullopt;
+  ++hits_;
+  return it->second.entry;
+}
+
+std::optional<GMemoryManager::CacheEntry> GMemoryManager::lookup_pinned(int device,
+                                                                        std::uint64_t job,
+                                                                        std::uint64_t key) {
+  Region* r = find_region(device, job);
+  if (r == nullptr) return std::nullopt;
+  auto it = r->table.find(key);
+  if (it == r->table.end()) return std::nullopt;
+  ++hits_;
+  ++it->second.pins;
+  return it->second.entry;
+}
+
+std::optional<GMemoryManager::CacheEntry> GMemoryManager::insert(int device, std::uint64_t job,
+                                                                 std::uint64_t key,
+                                                                 std::uint64_t bytes) {
+  ++misses_;
+  if (bytes > region_capacity_) return std::nullopt;  // can never fit
+  auto& jobs = regions_.at(static_cast<std::size_t>(device));
+  Region& r = jobs[job];  // region lazily "reserved" on first touch
+  gpu::GpuDevice& dev = *devices_.at(static_cast<std::size_t>(device));
+
+  // Replacing an existing (e.g. undersized) entry: drop the old one first.
+  if (auto old = r.table.find(key); old != r.table.end()) {
+    if (old->second.pins > 0) return std::nullopt;  // in use; do not thrash
+    dev.memory().free(old->second.entry.ptr);
+    r.used -= old->second.entry.bytes;
+    r.table.erase(old);
+    std::erase(r.fifo, key);
+  }
+
+  if (r.used + bytes > region_capacity_) {
+    if (policy_ == CachePolicy::NoEvict) return std::nullopt;
+    // FIFO policy (paper §4.2.2, Fig. 3): walk the FIFO list from the
+    // oldest entry, collecting unpinned victims until the new object fits.
+    std::uint64_t reclaimable = 0;
+    std::vector<std::uint64_t> victims;
+    for (std::uint64_t candidate : r.fifo) {
+      if (r.used - reclaimable + bytes <= region_capacity_) break;
+      auto it = r.table.find(candidate);
+      GFLINK_CHECK(it != r.table.end());
+      if (it->second.pins > 0) continue;  // in-flight: skip
+      reclaimable += it->second.entry.bytes;
+      victims.push_back(candidate);
+    }
+    if (r.used - reclaimable + bytes > region_capacity_) return std::nullopt;
+    for (std::uint64_t victim : victims) {
+      auto it = r.table.find(victim);
+      dev.memory().free(it->second.entry.ptr);
+      r.used -= it->second.entry.bytes;
+      r.table.erase(it);
+      std::erase(r.fifo, victim);
+      ++evictions_;
+    }
+  }
+
+  const gpu::DevicePtr ptr = dev.memory().allocate(bytes);
+  if (ptr == 0) return std::nullopt;  // device OOM outside the region model
+  Slot slot;
+  slot.entry = CacheEntry{ptr, bytes};
+  slot.pins = 1;  // returned pinned for the inserting GWork
+  r.table.emplace(key, slot);
+  r.fifo.push_back(key);
+  r.used += bytes;
+  return slot.entry;
+}
+
+void GMemoryManager::unpin(int device, std::uint64_t job, std::uint64_t key) {
+  Region* r = find_region(device, job);
+  if (r == nullptr) return;  // job already released
+  auto it = r->table.find(key);
+  if (it == r->table.end()) return;  // entry replaced meanwhile
+  GFLINK_CHECK_MSG(it->second.pins > 0, "unpin without matching pin");
+  --it->second.pins;
+}
+
+bool GMemoryManager::evict_for_space(int device, std::uint64_t job, std::uint64_t bytes) {
+  gpu::GpuDevice& dev = *devices_.at(static_cast<std::size_t>(device));
+  Region* r = find_region(device, job);
+  if (r == nullptr) return dev.memory().free_bytes() >= bytes;
+  while (dev.memory().free_bytes() < bytes) {
+    // Find the oldest unpinned entry.
+    auto victim = r->fifo.end();
+    for (auto it = r->fifo.begin(); it != r->fifo.end(); ++it) {
+      auto slot = r->table.find(*it);
+      GFLINK_CHECK(slot != r->table.end());
+      if (slot->second.pins == 0) {
+        victim = it;
+        break;
+      }
+    }
+    if (victim == r->fifo.end()) break;  // everything pinned
+    auto slot = r->table.find(*victim);
+    dev.memory().free(slot->second.entry.ptr);
+    r->used -= slot->second.entry.bytes;
+    r->table.erase(slot);
+    r->fifo.erase(victim);
+    ++evictions_;
+  }
+  return dev.memory().free_bytes() >= bytes;
+}
+
+void GMemoryManager::release_job(std::uint64_t job) {
+  for (std::size_t d = 0; d < regions_.size(); ++d) {
+    auto it = regions_[d].find(job);
+    if (it == regions_[d].end()) continue;
+    for (auto& [key, slot] : it->second.table) {
+      devices_[d]->memory().free(slot.entry.ptr);
+    }
+    regions_[d].erase(it);
+  }
+}
+
+std::uint64_t GMemoryManager::cached_input_bytes(int device, const GWork& work) const {
+  const Region* r = find_region(device, work.job_id);
+  if (r == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (const auto& in : work.inputs) {
+    if (!in.cache || !in.counts_for_locality) continue;
+    auto it = r->table.find(in.cache_key);
+    if (it != r->table.end()) total += it->second.entry.bytes;
+  }
+  return total;
+}
+
+int GMemoryManager::best_device_for(const GWork& work) const {
+  int best = -1;
+  std::uint64_t best_bytes = 0;
+  for (int d = 0; d < num_devices(); ++d) {
+    const std::uint64_t bytes = cached_input_bytes(d, work);
+    if (bytes > best_bytes) {
+      best_bytes = bytes;
+      best = d;
+    }
+  }
+  return best;
+}
+
+std::uint64_t GMemoryManager::cached_bytes(int device, std::uint64_t job) const {
+  const Region* r = find_region(device, job);
+  return r == nullptr ? 0 : r->used;
+}
+
+}  // namespace gflink::core

@@ -1,0 +1,113 @@
+// GMemoryManager: GFlink's automatic device-memory management and GPU cache
+// scheme (paper §4.2).
+//
+// Responsibilities:
+//  * automatic allocation/release of device buffers around each GWork (no
+//    user-visible cudaMalloc/cudaFree);
+//  * per-job cache regions on each GPU: a budget reserved when the job
+//    first touches the device and released when the job ends. Within a
+//    region, cached objects are tracked in a hash table keyed by the
+//    (partition, block) cache key, with a FIFO list for eviction;
+//  * two policies (paper §4.2.2): FIFO eviction, and NoEvict — once the
+//    region is full nothing more is cached (useful when one iteration's
+//    working set exceeds the region);
+//  * the locality query behind Algorithm 5.1: which GPU holds the most
+//    cached bytes of a GWork's inputs.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gwork.hpp"
+#include "gpu/device.hpp"
+
+namespace gflink::core {
+
+enum class CachePolicy : std::uint8_t { Fifo, NoEvict };
+
+class GMemoryManager {
+ public:
+  struct CacheEntry {
+    gpu::DevicePtr ptr = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  GMemoryManager(std::vector<gpu::GpuDevice*> devices, std::uint64_t region_capacity,
+                 CachePolicy policy)
+      : devices_(std::move(devices)), region_capacity_(region_capacity), policy_(policy),
+        regions_(devices_.size()) {}
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  CachePolicy policy() const { return policy_; }
+  std::uint64_t region_capacity() const { return region_capacity_; }
+
+  /// Cache lookup on one device. A hit refreshes nothing (FIFO, not LRU —
+  /// matching the paper).
+  std::optional<CacheEntry> lookup(int device, std::uint64_t job, std::uint64_t key) const;
+
+  /// Lookup that also pins the entry against eviction (used by in-flight
+  /// GWork; must be paired with unpin()).
+  std::optional<CacheEntry> lookup_pinned(int device, std::uint64_t job, std::uint64_t key);
+
+  /// Try to cache `bytes` under `key`: evicts FIFO-oldest *unpinned*
+  /// entries when the region is full (Fifo policy) or declines (NoEvict /
+  /// oversized). Returns the device allocation to fill — pinned; the caller
+  /// must unpin() once its GWork is done with it.
+  std::optional<CacheEntry> insert(int device, std::uint64_t job, std::uint64_t key,
+                                   std::uint64_t bytes);
+
+  /// Release a pin taken by lookup_pinned()/insert().
+  void unpin(int device, std::uint64_t job, std::uint64_t key);
+
+  /// Relieve device-memory pressure: evict unpinned cached entries of `job`
+  /// (FIFO order) until at least `bytes` are free on the device or nothing
+  /// evictable remains. Returns true if the space is now available. Used
+  /// when a transient cudaMalloc fails because the cache grew into all of
+  /// the device memory.
+  bool evict_for_space(int device, std::uint64_t job, std::uint64_t bytes);
+
+  /// Release a job's region on every device (job end / GFlink stop).
+  void release_job(std::uint64_t job);
+
+  /// Algorithm 5.1's locality probe: the device holding the most cached
+  /// input bytes for this work, or -1 when nothing is cached anywhere.
+  int best_device_for(const GWork& work) const;
+
+  /// Bytes of `work`'s inputs already cached on `device`.
+  std::uint64_t cached_input_bytes(int device, const GWork& work) const;
+
+  // Statistics.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t cached_bytes(int device, std::uint64_t job) const;
+
+ private:
+  struct Slot {
+    CacheEntry entry;
+    int pins = 0;  // in-flight GWork references; pinned slots never evict
+  };
+  struct Region {
+    std::uint64_t used = 0;
+    std::unordered_map<std::uint64_t, Slot> table;
+    std::deque<std::uint64_t> fifo;  // insertion order of keys
+  };
+
+  // Per-device map: job id -> region.
+  using JobRegions = std::unordered_map<std::uint64_t, Region>;
+
+  Region* find_region(int device, std::uint64_t job);
+  const Region* find_region(int device, std::uint64_t job) const;
+
+  std::vector<gpu::GpuDevice*> devices_;
+  std::uint64_t region_capacity_;
+  CachePolicy policy_;
+  std::vector<JobRegions> regions_;
+  mutable std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace gflink::core

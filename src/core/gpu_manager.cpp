@@ -1,0 +1,66 @@
+#include "core/gpu_manager.hpp"
+
+namespace gflink::core {
+
+GpuManager::GpuManager(sim::Simulation& sim, int node_id, const GpuManagerConfig& config,
+                       sim::Tracer* tracer)
+    : node_id_(node_id) {
+  GFLINK_CHECK_MSG(!config.devices.empty(), "worker needs at least one GPU");
+  std::vector<gpu::GpuDevice*> raw_devices;
+  std::vector<gpu::CudaWrapper*> raw_wrappers;
+  for (std::size_t i = 0; i < config.devices.size(); ++i) {
+    auto id = "node" + std::to_string(node_id) + ".gpu" + std::to_string(i);
+    devices_.push_back(std::make_unique<gpu::GpuDevice>(sim, id, config.devices[i], tracer));
+    stubs_.push_back(std::make_unique<gpu::CudaStub>(*devices_.back(), config.stub_overheads));
+    wrappers_.push_back(
+        std::make_unique<gpu::CudaWrapper>(*stubs_.back(), config.jni_overhead));
+    raw_devices.push_back(devices_.back().get());
+    raw_wrappers.push_back(wrappers_.back().get());
+  }
+  memory_ = std::make_unique<GMemoryManager>(std::move(raw_devices), config.cache_region_bytes,
+                                             config.cache_policy);
+  streams_ = std::make_unique<GStreamManager>(sim, std::move(raw_wrappers), *memory_,
+                                              config.streams);
+}
+
+GFlinkRuntime::GFlinkRuntime(dataflow::Engine& engine, const GpuManagerConfig& config) {
+  for (int w = 1; w <= engine.num_workers(); ++w) {
+    managers_.push_back(std::make_unique<GpuManager>(engine.sim(), w, config,
+                                                     &engine.cluster().tracer()));
+    engine.set_extension(w, managers_.back().get());
+  }
+}
+
+std::uint64_t GFlinkRuntime::total_cache_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& m : managers_) n += m->memory().hits();
+  return n;
+}
+
+std::uint64_t GFlinkRuntime::total_cache_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& m : managers_) n += m->memory().misses();
+  return n;
+}
+
+std::uint64_t GFlinkRuntime::total_kernels() const {
+  std::uint64_t n = 0;
+  for (const auto& m : managers_) {
+    for (int d = 0; d < m->num_devices(); ++d) {
+      n += const_cast<GpuManager&>(*m).device(d).kernels_launched();
+    }
+  }
+  return n;
+}
+
+std::uint64_t GFlinkRuntime::total_bytes_h2d() const {
+  std::uint64_t n = 0;
+  for (const auto& m : managers_) {
+    for (int d = 0; d < m->num_devices(); ++d) {
+      n += const_cast<GpuManager&>(*m).device(d).bytes_h2d();
+    }
+  }
+  return n;
+}
+
+}  // namespace gflink::core

@@ -1,0 +1,276 @@
+#include "core/gstream_manager.hpp"
+
+#include <algorithm>
+
+namespace gflink::core {
+
+GStreamManager::GStreamManager(sim::Simulation& sim, std::vector<gpu::CudaWrapper*> wrappers,
+                               GMemoryManager& memory, const GStreamConfig& config)
+    : sim_(&sim), wrappers_(std::move(wrappers)), memory_(&memory), config_(config) {
+  GFLINK_CHECK(!wrappers_.empty());
+  GFLINK_CHECK(config_.streams_per_gpu >= 1);
+  pool_.resize(wrappers_.size());
+  executed_.assign(wrappers_.size(), 0);
+  bulks_.resize(wrappers_.size());
+  for (std::size_t g = 0; g < wrappers_.size(); ++g) {
+    for (int s = 0; s < config_.streams_per_gpu; ++s) {
+      auto w = std::make_unique<StreamWorker>();
+      w->gpu = static_cast<int>(g);
+      w->stream_id = s;
+      w->inbox = std::make_unique<sim::Channel<GWorkPtr>>(sim, 1);
+      // The GStream Pool starts with live stream threads (paper Fig. 4);
+      // they idle-timeout into the freed state and are revived on demand.
+      w->freed = false;
+      bulks_[g].push_back(std::move(w));
+      sim_->spawn(worker_loop(bulks_[g].back().get()));
+    }
+  }
+}
+
+GStreamManager::StreamWorker* GStreamManager::idle_stream_in_bulk(int gpu) {
+  for (auto& w : bulks_.at(static_cast<std::size_t>(gpu))) {
+    if (w->idle && !w->freed) return w.get();
+  }
+  return nullptr;
+}
+
+int GStreamManager::bulk_with_most_idle() const {
+  int best = -1, best_count = 0;
+  for (std::size_t g = 0; g < bulks_.size(); ++g) {
+    int count = 0;
+    for (const auto& w : bulks_[g]) {
+      if (w->idle && !w->freed) ++count;
+    }
+    if (count > best_count) {
+      best_count = count;
+      best = static_cast<int>(g);
+    }
+  }
+  return best;
+}
+
+int GStreamManager::shortest_queue() const {
+  int best = 0;
+  std::size_t best_depth = pool_[0].size();
+  for (std::size_t g = 1; g < pool_.size(); ++g) {
+    if (pool_[g].size() < best_depth) {
+      best_depth = pool_[g].size();
+      best = static_cast<int>(g);
+    }
+  }
+  return best;
+}
+
+GStreamManager::StreamWorker* GStreamManager::select_stream(int preferred_gpu) {
+  // Algorithm 5.1, lines 2-10.
+  if (preferred_gpu >= 0) {
+    if (StreamWorker* w = idle_stream_in_bulk(preferred_gpu)) return w;
+    const int most_idle = bulk_with_most_idle();
+    if (most_idle >= 0) {
+      ++cross_bulk_;
+      return idle_stream_in_bulk(most_idle);
+    }
+    return nullptr;
+  }
+  const int most_idle = bulk_with_most_idle();
+  return most_idle >= 0 ? idle_stream_in_bulk(most_idle) : nullptr;
+}
+
+void GStreamManager::submit(const GWorkPtr& work) {
+  GFLINK_CHECK_MSG(work->done == nullptr, "GWork submitted twice");
+  work->done = std::make_shared<sim::Trigger>(*sim_);
+  work->submitted_at = sim_->now();
+
+  int preferred = -1;
+  switch (config_.policy) {
+    case SchedulingPolicy::LocalityAware:
+      preferred = memory_->best_device_for(*work);
+      break;
+    case SchedulingPolicy::RoundRobin:
+      preferred = round_robin_cursor_;
+      round_robin_cursor_ = (round_robin_cursor_ + 1) % num_gpus();
+      break;
+    case SchedulingPolicy::Random:
+      preferred = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(num_gpus())));
+      break;
+  }
+
+  if (StreamWorker* w = select_stream(preferred)) {
+    w->idle = false;
+    ++w->idle_generation;  // invalidate any pending idle-timeout
+    const bool sent = w->inbox->try_send(work);
+    GFLINK_CHECK(sent);
+    return;
+  }
+
+  // Algorithm 5.1, lines 11-18: no idle stream anywhere — queue the work.
+  const int queue = preferred >= 0 ? preferred : shortest_queue();
+  pool_[static_cast<std::size_t>(queue)].push_back(work);
+  ensure_alive(queue);
+}
+
+GWorkPtr GStreamManager::steal(int gpu) {
+  // Algorithm 5.2.
+  auto& own = pool_[static_cast<std::size_t>(gpu)];
+  if (!own.empty()) {
+    GWorkPtr w = own.front();
+    own.pop_front();
+    return w;
+  }
+  std::size_t longest = 0, depth = 0;
+  for (std::size_t g = 0; g < pool_.size(); ++g) {
+    if (pool_[g].size() > depth) {
+      depth = pool_[g].size();
+      longest = g;
+    }
+  }
+  if (depth == 0) return nullptr;
+  GWorkPtr w = pool_[longest].front();
+  pool_[longest].pop_front();
+  ++steals_;
+  w->was_stolen = true;
+  return w;
+}
+
+void GStreamManager::ensure_alive(int gpu) {
+  for (auto& w : bulks_.at(static_cast<std::size_t>(gpu))) {
+    if (w->freed) {
+      w->freed = false;
+      w->idle = false;
+      sim_->spawn(worker_loop(w.get()));
+      return;  // one revived stream will drain the queue (and steal more)
+    }
+  }
+}
+
+sim::Co<void> GStreamManager::worker_loop(StreamWorker* w) {
+  while (true) {
+    // Drain work: own queue first, then steal (Algorithm 5.2).
+    while (GWorkPtr work = steal(w->gpu)) {
+      co_await execute(w, work);
+    }
+    // Nothing queued: park until the scheduler assigns work directly, or
+    // the idle timeout frees this stream's thread (paper §5.3).
+    w->idle = true;
+    const std::uint64_t my_generation = ++w->idle_generation;
+    sim_->schedule_in(config_.idle_timeout, [this, w, my_generation] {
+      if (w->idle && !w->freed && w->idle_generation == my_generation) {
+        w->inbox->try_send(nullptr);  // timeout sentinel
+      }
+    });
+    auto assigned = co_await w->inbox->recv();
+    if (!assigned.has_value() || *assigned == nullptr) {
+      // Timed out: free the thread.
+      w->idle = false;
+      w->freed = true;
+      ++freed_count_;
+      co_return;
+    }
+    w->idle = false;
+    co_await execute(w, *assigned);
+  }
+}
+
+sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
+  gpu::CudaWrapper& api = *wrappers_.at(static_cast<std::size_t>(w->gpu));
+  const int gpu_index = w->gpu;
+  work->executed_on_gpu = gpu_index;
+  work->executed_on_stream = w->stream_id;
+
+  if (work->use_mapped_memory) {
+    // Zero-copy path: bind the host buffers directly; the kernel streams
+    // them across PCIe (§4.1.2). No allocations, no copy engines.
+    GFLINK_CHECK_MSG(!work->inputs.empty(), "mapped GWork needs buffers");
+    std::vector<std::span<std::byte>> spans;
+    spans.reserve(work->inputs.size() + work->outputs.size());
+    for (auto& in : work->inputs) {
+      GFLINK_CHECK_MSG(!in.cache, "mapped memory and GPU caching are exclusive");
+      spans.emplace_back(in.host->data(), in.bytes);
+    }
+    for (auto& out : work->outputs) {
+      spans.emplace_back(out.host->data(), out.bytes);
+    }
+    const gpu::Kernel& kernel = gpu::KernelRegistry::global().lookup(work->execute_name);
+    co_await api.device().launch_mapped(kernel, std::move(spans), work->size, work->layout,
+                                        work->execute_name);
+    ++executed_[static_cast<std::size_t>(gpu_index)];
+    work->finished_at = sim_->now();
+    work->done->fire();
+    co_return;
+  }
+
+  const std::string label = work->execute_name;
+  std::vector<gpu::GpuDevice::BufferBinding> bindings;
+  bindings.reserve(work->inputs.size() + work->outputs.size());
+  std::vector<gpu::DevicePtr> temporaries;
+  std::vector<std::uint64_t> pinned_keys;  // cache entries in use by this GWork
+
+  // Stage 1: H2D input transfers, honouring the GPU cache. Cached entries
+  // are pinned for the duration of the GWork so a concurrent stream cannot
+  // evict (and the allocator reuse) device memory we are still reading.
+  for (auto& in : work->inputs) {
+    gpu::DevicePtr dptr = 0;
+    bool need_transfer = true;
+    if (in.cache) {
+      auto hit = memory_->lookup_pinned(gpu_index, work->job_id, in.cache_key);
+      if (hit && hit->bytes >= in.bytes) {
+        dptr = hit->ptr;
+        pinned_keys.push_back(in.cache_key);
+        need_transfer = false;  // the paper's avoided PCIe transfer
+      } else {
+        if (hit) memory_->unpin(gpu_index, work->job_id, in.cache_key);  // undersized hit
+        if (auto slot = memory_->insert(gpu_index, work->job_id, in.cache_key, in.bytes)) {
+          dptr = slot->ptr;  // region allocation: no cudaMalloc on the hot path
+          pinned_keys.push_back(in.cache_key);
+        }
+      }
+    }
+    if (dptr == 0) {
+      dptr = co_await api.cuda_malloc(in.bytes);
+      if (dptr == 0 && memory_->evict_for_space(gpu_index, work->job_id, in.bytes)) {
+        dptr = co_await api.cuda_malloc(in.bytes);  // retry after cache relief
+      }
+      GFLINK_CHECK_MSG(dptr != 0, "device OOM for GWork input");
+      temporaries.push_back(dptr);
+    }
+    if (need_transfer) {
+      co_await api.memcpy_h2d(dptr, *in.host, 0, in.bytes, label);
+    }
+    bindings.push_back({dptr, in.bytes});
+  }
+
+  // Output allocations (released automatically after D2H).
+  for (auto& out : work->outputs) {
+    gpu::DevicePtr dptr = co_await api.cuda_malloc(out.bytes);
+    if (dptr == 0 && memory_->evict_for_space(gpu_index, work->job_id, out.bytes)) {
+      dptr = co_await api.cuda_malloc(out.bytes);
+    }
+    GFLINK_CHECK_MSG(dptr != 0, "device OOM for GWork output");
+    temporaries.push_back(dptr);
+    bindings.push_back({dptr, out.bytes});
+  }
+
+  // Stage 2: kernel execution.
+  co_await api.launch_kernel(work->execute_name, bindings, work->size, work->layout,
+                             work->block_size, work->grid_size, work->params.get(), label);
+
+  // Stage 3: D2H result transfers.
+  std::size_t binding_index = work->inputs.size();
+  for (auto& out : work->outputs) {
+    co_await api.memcpy_d2h(*out.host, 0, bindings[binding_index].ptr, out.bytes, label);
+    ++binding_index;
+  }
+
+  for (gpu::DevicePtr t : temporaries) {
+    co_await api.cuda_free(t);
+  }
+  for (std::uint64_t key : pinned_keys) {
+    memory_->unpin(gpu_index, work->job_id, key);
+  }
+
+  ++executed_[static_cast<std::size_t>(gpu_index)];
+  work->finished_at = sim_->now();
+  work->done->fire();
+}
+
+}  // namespace gflink::core

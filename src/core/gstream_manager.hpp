@@ -1,0 +1,109 @@
+// GStreamManager: GFlink's producer-consumer execution engine for GPUs
+// (paper §5, Fig. 4).
+//
+// Components, matching the paper:
+//  * GWork Scheduler — Algorithm 5.1 (locality-aware scheduling): route a
+//    submitted GWork to an idle stream of the GPU holding its cached
+//    inputs; else to the bulk with the most idle streams; else enqueue it
+//    in the GWork Pool (locality queue, or the shortest queue).
+//  * GWork Pool — one FIFO queue per GPU.
+//  * GStream Pool — stream workers grouped into per-GPU "bulks". Each
+//    stream is driven by a coroutine (the paper's per-stream thread) that
+//    executes the three-stage pipeline H2D -> kernel -> D2H. When a stream
+//    finishes it steals more work via Algorithm 5.2 (own queue first, then
+//    the longest queue); after `idle_timeout` without work the thread is
+//    freed (and respawned when work arrives again).
+//
+// Scheduling-policy ablations (DESIGN.md): LocalityAware (the paper),
+// RoundRobin and Random baselines.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/gmemory_manager.hpp"
+#include "core/gwork.hpp"
+#include "gpu/api.hpp"
+#include "sim/random.hpp"
+
+namespace gflink::core {
+
+enum class SchedulingPolicy : std::uint8_t { LocalityAware, RoundRobin, Random };
+
+struct GStreamConfig {
+  int streams_per_gpu = 4;
+  sim::Duration idle_timeout = sim::millis(20);
+  SchedulingPolicy policy = SchedulingPolicy::LocalityAware;
+};
+
+class GStreamManager {
+ public:
+  GStreamManager(sim::Simulation& sim, std::vector<gpu::CudaWrapper*> wrappers,
+                 GMemoryManager& memory, const GStreamConfig& config);
+
+  /// Submit one GWork (Algorithm 5.1). Creates work->done, routes the work,
+  /// and returns immediately; await work->done->wait() for completion.
+  void submit(const GWorkPtr& work);
+
+  /// Submit and await completion (the common producer pattern).
+  sim::Co<void> run(const GWorkPtr& work) {
+    submit(work);
+    co_await work->done->wait();
+  }
+
+  int num_gpus() const { return static_cast<int>(wrappers_.size()); }
+  int streams_per_gpu() const { return config_.streams_per_gpu; }
+
+  // Statistics for load-balance and stealing tests.
+  std::uint64_t executed_on(int gpu) const { return executed_.at(static_cast<std::size_t>(gpu)); }
+  std::uint64_t steals() const { return steals_; }
+  std::uint64_t cross_bulk_assignments() const { return cross_bulk_; }
+  std::uint64_t freed_streams() const { return freed_count_; }
+  std::size_t queue_depth(int gpu) const {
+    return pool_.at(static_cast<std::size_t>(gpu)).size();
+  }
+
+ private:
+  struct StreamWorker {
+    int gpu = 0;
+    int stream_id = 0;
+    bool idle = false;
+    bool freed = true;  // not yet started
+    std::uint64_t idle_generation = 0;
+    std::unique_ptr<sim::Channel<GWorkPtr>> inbox;
+  };
+
+  /// Algorithm 5.1's stream selection (given the locality-preferred GPU).
+  StreamWorker* select_stream(int preferred_gpu);
+  StreamWorker* idle_stream_in_bulk(int gpu);
+  int bulk_with_most_idle() const;
+  int shortest_queue() const;
+
+  /// Algorithm 5.2: steal from own queue, else from the longest one.
+  GWorkPtr steal(int gpu);
+
+  /// Stream thread body: execute, steal, park with timeout, free.
+  sim::Co<void> worker_loop(StreamWorker* w);
+  void ensure_alive(int gpu);
+
+  /// The three-stage pipeline for one GWork on one stream.
+  sim::Co<void> execute(StreamWorker* w, const GWorkPtr& work);
+
+  sim::Simulation* sim_;
+  std::vector<gpu::CudaWrapper*> wrappers_;
+  GMemoryManager* memory_;
+  GStreamConfig config_;
+  sim::Rng rng_{0xC0FFEE};
+  int round_robin_cursor_ = 0;
+
+  std::vector<std::deque<GWorkPtr>> pool_;  // GWork Pool: FIFO per GPU
+  std::vector<std::vector<std::unique_ptr<StreamWorker>>> bulks_;
+
+  std::vector<std::uint64_t> executed_;
+  std::uint64_t steals_ = 0;
+  std::uint64_t cross_bulk_ = 0;
+  std::uint64_t freed_count_ = 0;
+};
+
+}  // namespace gflink::core

@@ -1,0 +1,91 @@
+// GWork: GFlink's abstraction for one unit of GPU computation (paper
+// §3.5.3 and Algorithm 3.1).
+//
+// A GPU-based mapper/reducer assembles a GWork — kernel name (the PTX
+// function's executeName), input/output buffers, launch geometry, cache
+// flags — and submits it to the worker's GStreamManager. The producer then
+// awaits the `done` trigger; a stream worker consumes the GWork through the
+// three-stage pipeline (H2D, kernel, D2H).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/buffer.hpp"
+#include "mem/gstruct.hpp"
+#include "sim/sync.hpp"
+
+namespace gflink::core {
+
+/// One host buffer bound to a GWork. Cached inputs participate in the GPU
+/// cache scheme: on a hit the H2D transfer (and allocation) is skipped.
+struct GBuffer {
+  mem::HBufferPtr host;
+  std::uint64_t bytes = 0;
+  bool cache = false;
+  /// Cache key: by default the (partition id, block id) pair, packed.
+  std::uint64_t cache_key = 0;
+  /// Whether this buffer's cached bytes count for Algorithm 5.1's locality
+  /// probe. Data blocks do; broadcast/auxiliary buffers (replicated on
+  /// every device anyway) do not — they would otherwise glue all work to
+  /// whichever device cached them first.
+  bool counts_for_locality = true;
+};
+
+/// Pack the paper's default cache key: partition ID + block ID (plus a
+/// namespace so different datasets of one job do not collide).
+constexpr std::uint64_t make_cache_key(std::uint32_t name_space, std::uint32_t partition,
+                                       std::uint32_t block) {
+  return (static_cast<std::uint64_t>(name_space) << 48) |
+         (static_cast<std::uint64_t>(partition) << 24) | block;
+}
+
+struct GWork {
+  std::string execute_name;  // CUDA function name looked up in the registry
+  std::string ptx_path;      // carried for fidelity with the paper's API
+
+  std::vector<GBuffer> inputs;
+  std::vector<GBuffer> outputs;
+
+  std::size_t size = 0;  // number of items the kernel covers
+  int block_size = 256;
+  int grid_size = 0;  // 0 = derived from size/block_size
+
+  std::uint64_t job_id = 0;  // scopes the GPU cache region
+  mem::Layout layout = mem::Layout::SoA;
+
+  /// Execute over device-mapped host memory (paper §4.1.2): no explicit
+  /// H2D/D2H transfers and no copy-engine use; the kernel streams the host
+  /// buffers over PCIe. Useful on single-copy-engine boards. Mutually
+  /// exclusive with input caching.
+  bool use_mapped_memory = false;
+
+  /// Small by-value kernel argument block (kept alive by shared ownership).
+  std::shared_ptr<void> params;
+
+  /// Fired by the stream worker once outputs are back in host memory.
+  std::shared_ptr<sim::Trigger> done;
+
+  // ---- filled in by the runtime (diagnostics) ----
+  sim::Time submitted_at = 0;
+  sim::Time finished_at = 0;
+  int executed_on_gpu = -1;
+  int executed_on_stream = -1;
+  bool was_stolen = false;
+
+  std::uint64_t input_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& b : inputs) n += b.bytes;
+    return n;
+  }
+  std::uint64_t output_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& b : outputs) n += b.bytes;
+    return n;
+  }
+};
+
+using GWorkPtr = std::shared_ptr<GWork>;
+
+}  // namespace gflink::core

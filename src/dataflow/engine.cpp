@@ -1,0 +1,849 @@
+#include "dataflow/engine.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "sim/random.hpp"
+
+namespace gflink::dataflow {
+
+namespace {
+
+/// Spread shuffle keys over target partitions. The raw key is often a small
+/// integer (word id, page id), so mix it first.
+int target_partition(std::uint64_t key, int partitions) {
+  std::uint64_t s = key;
+  return static_cast<int>(sim::splitmix64(s) % static_cast<std::uint64_t>(partitions));
+}
+
+/// Rounds of a binomial distribution/combining tree over `receivers` nodes.
+int tree_rounds(int receivers) {
+  int rounds = 0;
+  int covered = 1;
+  while (covered < receivers + 1) {
+    covered *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+// ---- TaskContext -----------------------------------------------------------
+
+sim::Simulation& TaskContext::sim() { return engine_->sim(); }
+net::Node& TaskContext::node() { return engine_->cluster().node(worker_node_); }
+Worker& TaskContext::worker_state() { return engine_->worker_state(worker_node_); }
+void* TaskContext::extension() { return engine_->worker_state(worker_node_).extension(); }
+
+// ---- Job -------------------------------------------------------------------
+
+Job::Job(Engine& engine, std::string name) : engine_(&engine), id_(engine.next_job_id_++) {
+  stats_.name = std::move(name);
+}
+
+sim::Co<void> Job::submit() {
+  GFLINK_CHECK_MSG(!submitted_, "job submitted twice");
+  stats_.submitted_at = engine_->now();
+  // Client -> JobManager: ship the program, translate and optimize the
+  // plan, acquire slots. Tsubmit + Tschedule in the paper's Eq. (1).
+  co_await engine_->sim().delay(engine_->config().job_submit_overhead);
+  co_await engine_->sim().delay(engine_->config().job_schedule_overhead);
+  stats_.running_at = engine_->now();
+  submitted_ = true;
+}
+
+void Job::finish() { stats_.finished_at = engine_->now(); }
+
+// ---- Engine ----------------------------------------------------------------
+
+Engine::Engine(const EngineConfig& config)
+    : config_(config), cluster_(sim_, config.cluster), dfs_(cluster_, config.dfs),
+      default_parallelism_(0) {
+  cluster_.tracer().set_enabled(config.trace);
+  const int slots = config_.slots_per_worker > 0 ? config_.slots_per_worker
+                                                 : config_.cluster.worker.cpu.cores;
+  workers_.push_back(nullptr);  // node 0 is the master
+  for (int w = 1; w <= cluster_.num_workers(); ++w) {
+    workers_.push_back(std::make_unique<Worker>(sim_, w, slots, config_.page_size,
+                                                config_.memory_pages_per_worker));
+  }
+  default_parallelism_ = cluster_.num_workers() * slots;
+  alive_.assign(static_cast<std::size_t>(cluster_.num_workers()) + 1, true);
+  dfs_.set_liveness([this](int node) { return worker_alive(node); });
+}
+
+void Engine::schedule_worker_failure(int worker, sim::Time at, sim::Duration down_for) {
+  GFLINK_CHECK(worker >= 1 && worker <= num_workers());
+  sim_.schedule_at(at, [this, worker] {
+    alive_[static_cast<std::size_t>(worker)] = false;
+    cluster_.metrics().inc("fault.worker_failures");
+  });
+  if (down_for > 0) {
+    sim_.schedule_at(at + down_for, [this, worker] {
+      alive_[static_cast<std::size_t>(worker)] = true;  // rejoins, memory empty
+    });
+  }
+}
+
+int Engine::alive_workers() const {
+  int n = 0;
+  for (int w = 1; w <= num_workers(); ++w) {
+    if (alive_[static_cast<std::size_t>(w)]) ++n;
+  }
+  return n;
+}
+
+int Engine::pick_alive_worker(int preferred) const {
+  GFLINK_CHECK_MSG(alive_workers() > 0, "every worker is dead; job cannot make progress");
+  for (int step = 0; step < num_workers(); ++step) {
+    const int candidate = 1 + (preferred - 1 + step) % num_workers();
+    if (alive_[static_cast<std::size_t>(candidate)]) return candidate;
+  }
+  GFLINK_CHECK(false);
+}
+
+sim::Co<void> Engine::work_delay(int worker, sim::Duration d) {
+  if (!worker_alive(worker)) throw TaskFailed{worker};
+  if (d <= 0) co_return;
+  // Chunked so a mid-delay death is observed with bounded latency.
+  constexpr int kChunks = 16;
+  const sim::Duration chunk = std::max<sim::Duration>(1, d / kChunks);
+  sim::Duration remaining = d;
+  while (remaining > 0) {
+    const sim::Duration step = std::min(chunk, remaining);
+    co_await sim_.delay(step);
+    remaining -= step;
+    if (!worker_alive(worker)) throw TaskFailed{worker};
+  }
+}
+
+Worker& Engine::worker_state(int node_id) {
+  GFLINK_CHECK_MSG(node_id >= 1 && node_id <= cluster_.num_workers(), "not a worker node");
+  return *workers_[static_cast<std::size_t>(node_id)];
+}
+
+sim::Time Engine::run(std::function<sim::Co<void>(Engine&)> driver) {
+  sim_.spawn(driver(*this));
+  const sim::Time end = sim_.run();
+  // The event queue drained with processes still parked: a deadlock in the
+  // model (e.g. resource starvation). Fail loudly rather than return
+  // nonsense timings.
+  GFLINK_CHECK_MSG(sim_.live_processes() == 0, "driver deadlocked: processes still parked");
+  return end;
+}
+
+// ---- Plan execution --------------------------------------------------------
+
+sim::Co<DataHandle> Engine::run_plan(Job& job, const PlanNodePtr& sink) {
+  GFLINK_CHECK_MSG(job.submitted(), "action on a job that was never submitted");
+  auto chain = linearize(sink.get());
+  DataHandle data = co_await run_source(job, chain.front()->source);
+  auto stages = split_stages(chain);
+  for (const Stage& stage : stages) {
+    data = co_await run_stage(job, stage, data);
+  }
+  co_return data;
+}
+
+sim::Co<DataHandle> Engine::run_source(Job& job, const SourceSpec& source) {
+  if (source.handle) co_return source.handle;  // cached in cluster memory
+  GFLINK_CHECK_MSG(source.desc != nullptr, "source needs a record descriptor");
+  GFLINK_CHECK_MSG(source.generate != nullptr, "source needs a generator");
+
+  const int partitions = source.partitions > 0 ? source.partitions : default_parallelism_;
+  auto out = std::make_shared<MaterializedDataSet>();
+  out->desc = source.desc;
+  out->parts.resize(static_cast<std::size_t>(partitions));
+
+  const dfs::FileInfo* file = nullptr;
+  if (!source.dfs_path.empty()) {
+    file = dfs_.stat(source.dfs_path);
+    GFLINK_CHECK_MSG(file != nullptr, "source file missing: " + source.dfs_path);
+  }
+
+  StageStat stat;
+  stat.name = "source";
+  stat.begin = now();
+  stat.tasks = partitions;
+
+  co_await sim_.delay(config_.stage_schedule_overhead);
+  std::vector<std::pair<int, int>> pending;  // (partition, assigned worker)
+  for (int p = 0; p < partitions; ++p) {
+    // Input-split locality: a partition is scheduled on the worker holding
+    // the primary replica of its first block.
+    int owner = owner_of_partition(p);
+    if (file != nullptr && static_cast<std::size_t>(p) < file->blocks.size()) {
+      owner = file->blocks[static_cast<std::size_t>(p)].replicas.front();
+    }
+    pending.emplace_back(p, owner);
+  }
+  while (!pending.empty()) {
+    sim::WaitGroup wg(sim_);
+    auto failed = std::make_shared<std::vector<int>>();
+    for (auto& [part, owner] : pending) {
+      wg.add();
+      sim_.spawn([](Engine& eng, Job& jb, const SourceSpec& src, const dfs::FileInfo* fi,
+                    MaterializedDataSet& result, int part_idx, int node, int nparts,
+                    std::shared_ptr<std::vector<int>> fails,
+                    sim::WaitGroup& join) -> sim::Co<void> {
+        try {
+          if (!eng.worker_alive(node)) throw TaskFailed{node};
+          co_await eng.cluster().message(0, node);
+          co_await eng.sim().delay(eng.config().task_deploy_overhead);
+          Worker& w = eng.worker_state(node);
+          co_await w.slots().acquire();
+          try {
+            // Read this partition's share of blocks (round-robin).
+            if (fi != nullptr) {
+              for (std::size_t b = static_cast<std::size_t>(part_idx); b < fi->blocks.size();
+                   b += static_cast<std::size_t>(nparts)) {
+                co_await eng.dfs().read_block(node, fi->blocks[b]);
+                jb.stats().io_bytes_read += fi->blocks[b].bytes;
+              }
+            }
+            auto batch = std::make_shared<mem::RecordBatch>(src.desc);
+            src.generate(part_idx, *batch);
+            const auto n = static_cast<sim::Duration>(batch->count());
+            co_await eng.work_delay(
+                node, n * eng.cluster().node(node).record_time(src.parse_cost.flops,
+                                                               src.parse_cost.bytes));
+            result.parts[static_cast<std::size_t>(part_idx)] = {node, std::move(batch)};
+          } catch (const TaskFailed&) {
+            w.slots().release();
+            throw;
+          }
+          w.slots().release();
+        } catch (const TaskFailed&) {
+          ++eng.tasks_failed_;
+          fails->push_back(part_idx);
+        }
+        join.done();
+      }(*this, job, source, file, *out, part, owner, partitions, failed, wg));
+    }
+    co_await wg.wait();
+    pending.clear();
+    if (!failed->empty()) {
+      co_await sim_.delay(config_.failure_detection_delay);
+      for (int idx : *failed) {
+        pending.emplace_back(idx, pick_alive_worker(owner_of_partition(idx)));
+        ++tasks_retried_;
+      }
+    }
+  }
+
+  stat.end = now();
+  stat.records_out = out->total_records();
+  job.stats().stages.push_back(std::move(stat));
+  co_return out;
+}
+
+sim::Co<std::shared_ptr<mem::RecordBatch>> Engine::apply_record_ops(
+    Job& job, const Stage& stage, int worker, std::shared_ptr<mem::RecordBatch> batch) {
+  (void)job;
+  if (stage.record_ops.empty()) co_return batch;
+  const net::Node& node = cluster_.node(worker);
+  sim::Duration total = 0;
+  std::shared_ptr<mem::RecordBatch> cur = std::move(batch);
+  for (const OpNode* op : stage.record_ops) {
+    auto next = std::make_shared<mem::RecordBatch>(op->out_desc);
+    Emitter emitter(*next);
+    const std::size_t n = cur->count();
+    for (std::size_t i = 0; i < n; ++i) {
+      op->record_fn(cur->record_ptr(i), emitter);
+    }
+    total += static_cast<sim::Duration>(n) * node.record_time(op->cost.flops, op->cost.bytes);
+    cur = std::move(next);
+  }
+  co_await work_delay(worker, total);
+  co_return cur;
+}
+
+mem::RecordBatch Engine::combine_by_key(const OpNode& reduce, const mem::RecordBatch& in) {
+  mem::RecordBatch acc(reduce.out_desc);
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(in.count());
+  for (std::size_t i = 0; i < in.count(); ++i) {
+    const std::byte* rec = in.record_ptr(i);
+    const std::uint64_t key = reduce.key_fn(rec);
+    auto [it, inserted] = index.try_emplace(key, acc.count());
+    if (inserted) {
+      acc.append_raw(rec);
+    } else {
+      reduce.combine_fn(acc.record_ptr(it->second), rec);
+    }
+  }
+  return acc;
+}
+
+sim::Co<void> Engine::stage_task(Job& job, const Stage& stage, int part_index,
+                                 const MaterializedDataSet::Part& in, MaterializedDataSet& out,
+                                 Exchange* exchange, int out_partitions, StageStat& stat) {
+  const int worker = in.worker;
+  if (!worker_alive(worker)) throw TaskFailed{worker};
+  co_await cluster_.message(0, worker);  // task deployment RPC
+  co_await sim_.delay(config_.task_deploy_overhead);
+  Worker& w = worker_state(worker);
+  co_await w.slots().acquire();
+
+  const std::uint64_t records_in = in.batch ? in.batch->count() : 0;
+  stat.records_in += records_in;
+
+  std::shared_ptr<mem::RecordBatch> batch;
+  try {
+    batch = co_await apply_record_ops(job, stage, worker, in.batch);
+  } catch (const TaskFailed&) {
+    w.slots().release();  // the physical slot is gone with the node, but
+    throw;                // keep the accounting balanced for a rejoin
+  }
+  const net::Node& node = cluster_.node(worker);
+
+  const OpNode* terminal = stage.terminal;
+  try {
+  if (terminal == nullptr) {
+    out.parts[static_cast<std::size_t>(part_index)] = {worker, std::move(batch)};
+  } else if (terminal->kind == OpKind::MapPartition) {
+    auto result = std::make_shared<mem::RecordBatch>(terminal->out_desc);
+    terminal->partition_fn(*batch, *result);
+    co_await work_delay(worker, static_cast<sim::Duration>(batch->count()) *
+                                    node.record_time(terminal->cost.flops,
+                                                     terminal->cost.bytes));
+    out.parts[static_cast<std::size_t>(part_index)] = {worker, std::move(result)};
+  } else if (terminal->kind == OpKind::AsyncPartition) {
+    auto result = std::make_shared<mem::RecordBatch>(terminal->out_desc);
+    TaskContext ctx(*this, job, worker, part_index);
+    co_await terminal->async_fn(ctx, *batch, *result);
+    out.parts[static_cast<std::size_t>(part_index)] = {worker, std::move(result)};
+  } else if (terminal->kind == OpKind::ReduceByKey) {
+    mem::RecordBatch combined = combine_by_key(*terminal, *batch);
+    // Failure point: nothing has been deposited into the exchange yet, so
+    // a retry of this task is idempotent.
+    co_await work_delay(worker, static_cast<sim::Duration>(batch->count()) *
+                                    node.record_time(terminal->cost.flops,
+                                                     terminal->cost.bytes));
+    // Partition the combined records into target buckets.
+    std::vector<mem::RecordBatch> buckets;
+    buckets.reserve(static_cast<std::size_t>(out_partitions));
+    for (int t = 0; t < out_partitions; ++t) buckets.emplace_back(terminal->out_desc);
+    for (std::size_t i = 0; i < combined.count(); ++i) {
+      const std::byte* rec = combined.record_ptr(i);
+      buckets[static_cast<std::size_t>(target_partition(terminal->key_fn(rec), out_partitions))]
+          .append_raw(rec);
+    }
+    for (int t = 0; t < out_partitions; ++t) {
+      auto& bucket = buckets[static_cast<std::size_t>(t)];
+      if (bucket.empty()) continue;
+      const int dst = owner_of_partition(t);
+      if (dst != worker) {
+        const std::uint64_t bytes = bucket.byte_size();
+        co_await cluster_.transfer(worker, dst, bytes, "shuffle");
+        stat.shuffle_bytes += bytes;
+      }
+      exchange->buckets[static_cast<std::size_t>(t)].push_back(std::move(bucket));
+    }
+  } else if (terminal->kind == OpKind::GroupReduce) {
+    // No map-side combine (the group function need not be associative):
+    // ship raw records, keyed. Cost: key extraction + serialization-free
+    // bucketing per record.
+    co_await work_delay(worker, static_cast<sim::Duration>(batch->count()) *
+                                    node.record_time(terminal->cost.flops,
+                                                     static_cast<double>(
+                                                         batch->desc().stride())));
+    std::vector<mem::RecordBatch> buckets;
+    buckets.reserve(static_cast<std::size_t>(out_partitions));
+    for (int t = 0; t < out_partitions; ++t) buckets.emplace_back(&batch->desc());
+    for (std::size_t i = 0; i < batch->count(); ++i) {
+      const std::byte* rec = batch->record_ptr(i);
+      buckets[static_cast<std::size_t>(target_partition(terminal->key_fn(rec), out_partitions))]
+          .append_raw(rec);
+    }
+    for (int t = 0; t < out_partitions; ++t) {
+      auto& bucket = buckets[static_cast<std::size_t>(t)];
+      if (bucket.empty()) continue;
+      const int dst = owner_of_partition(t);
+      if (dst != worker) {
+        const std::uint64_t bytes = bucket.byte_size();
+        co_await cluster_.transfer(worker, dst, bytes, "shuffle");
+        stat.shuffle_bytes += bytes;
+      }
+      exchange->buckets[static_cast<std::size_t>(t)].push_back(std::move(bucket));
+    }
+  } else if (terminal->kind == OpKind::Rebalance) {
+    co_await sim_.delay(static_cast<sim::Duration>(batch->count()) *
+                        node.record_time(2.0, static_cast<double>(batch->desc().stride())));
+    for (std::size_t i = 0; i < batch->count(); ++i) {
+      const int t = static_cast<int>(i) % out_partitions;
+      auto& vec = exchange->buckets[static_cast<std::size_t>(t)];
+      if (vec.empty()) vec.emplace_back(terminal->out_desc);
+      vec.front().append_raw(batch->record_ptr(i));
+    }
+    // Rebalance transfers are charged in the merge step (receiver side
+    // cannot know sizes until all tasks deposited).
+  } else {
+    GFLINK_CHECK_MSG(false, "unexpected terminal operator");
+  }
+  } catch (const TaskFailed&) {
+    w.slots().release();
+    throw;
+  }
+
+  w.slots().release();
+}
+
+sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle input) {
+  if (stage.record_ops.empty() && stage.terminal == nullptr) co_return input;
+
+  const OpNode* terminal = stage.terminal;
+  const bool shuffles =
+      terminal != nullptr &&
+      (terminal->kind == OpKind::ReduceByKey || terminal->kind == OpKind::GroupReduce ||
+       terminal->kind == OpKind::Rebalance);
+
+  StageStat stat;
+  stat.name = terminal != nullptr
+                  ? terminal->name
+                  : (stage.record_ops.empty() ? "identity" : stage.record_ops.back()->name);
+  stat.begin = now();
+  stat.tasks = static_cast<int>(input->parts.size());
+
+  const int out_partitions = static_cast<int>(input->parts.size());
+  auto out = std::make_shared<MaterializedDataSet>();
+  out->desc = stage.out_desc != nullptr ? stage.out_desc : input->desc;
+  out->parts.resize(static_cast<std::size_t>(out_partitions));
+
+  Exchange exchange;
+  if (shuffles) exchange.buckets.resize(static_cast<std::size_t>(out_partitions));
+
+  co_await sim_.delay(config_.stage_schedule_overhead);
+  // Run a wave of tasks; workers that die mid-task surface as failed
+  // partitions, which are retried on healthy nodes after the JobManager's
+  // detection delay (Flink's restart-from-failure behaviour).
+  std::vector<std::pair<int, MaterializedDataSet::Part>> pending;
+  pending.reserve(input->parts.size());
+  for (std::size_t p = 0; p < input->parts.size(); ++p) {
+    pending.emplace_back(static_cast<int>(p), input->parts[p]);
+  }
+  while (!pending.empty()) {
+    sim::WaitGroup wg(sim_);
+    auto failed = std::make_shared<std::vector<int>>();
+    for (auto& [index, part] : pending) {
+      wg.add();
+      sim_.spawn([](Engine& eng, Job& jb, const Stage& st, int idx,
+                    MaterializedDataSet::Part part_in, MaterializedDataSet& result, Exchange* ex,
+                    int nparts, StageStat& ss, std::shared_ptr<std::vector<int>> fails,
+                    sim::WaitGroup& join) -> sim::Co<void> {
+        try {
+          co_await eng.stage_task(jb, st, idx, part_in, result, ex, nparts, ss);
+        } catch (const TaskFailed&) {
+          ++eng.tasks_failed_;
+          fails->push_back(idx);
+        }
+        join.done();
+      }(*this, job, stage, index, part, *out, shuffles ? &exchange : nullptr, out_partitions,
+        stat, failed, wg));
+    }
+    co_await wg.wait();
+    pending.clear();
+    if (!failed->empty()) {
+      // Heartbeat timeout before the JobManager reacts, then reassignment.
+      co_await sim_.delay(config_.failure_detection_delay);
+      for (int idx : *failed) {
+        MaterializedDataSet::Part retry = input->parts[static_cast<std::size_t>(idx)];
+        retry.worker = pick_alive_worker(retry.worker);
+        ++tasks_retried_;
+        pending.emplace_back(idx, retry);
+      }
+    }
+  }
+
+  if (shuffles) {
+    // Merge deposited buckets on their target workers.
+    sim::WaitGroup merge_wg(sim_);
+    for (int t = 0; t < out_partitions; ++t) {
+      merge_wg.add();
+      sim_.spawn([](Engine& eng, const Stage& st, Exchange& ex, MaterializedDataSet& result,
+                    int t_index, StageStat& ss, sim::WaitGroup& join) -> sim::Co<void> {
+        const int node = eng.owner_of_partition(t_index);
+        Worker& w = eng.worker_state(node);
+        co_await w.slots().acquire();
+        const OpNode* term = st.terminal;
+        auto& deposited = ex.buckets[static_cast<std::size_t>(t_index)];
+        std::uint64_t n = 0;
+        for (const auto& b : deposited) n += b.count();
+        auto merged = std::make_shared<mem::RecordBatch>(term->out_desc);
+        if (term->kind == OpKind::GroupReduce) {
+          std::map<std::uint64_t, std::vector<const std::byte*>> groups;
+          std::uint64_t n_in = 0;
+          for (const auto& b : deposited) {
+            for (std::size_t i = 0; i < b.count(); ++i) {
+              groups[term->key_fn(b.record_ptr(i))].push_back(b.record_ptr(i));
+              ++n_in;
+            }
+          }
+          Emitter emitter(*merged);
+          for (const auto& [key, group] : groups) {
+            term->group_fn(group, emitter);
+          }
+          co_await eng.sim().delay(
+              static_cast<sim::Duration>(n_in + emitter.emitted()) *
+              eng.cluster().node(node).record_time(term->cost.flops, term->cost.bytes));
+        } else if (term->kind == OpKind::ReduceByKey) {
+          mem::RecordBatch all(term->out_desc);
+          for (const auto& b : deposited) {
+            for (std::size_t i = 0; i < b.count(); ++i) all.append_raw(b.record_ptr(i));
+          }
+          *merged = Engine::combine_by_key(*term, all);
+          co_await eng.sim().delay(
+              static_cast<sim::Duration>(n) *
+              eng.cluster().node(node).record_time(term->cost.flops, term->cost.bytes));
+        } else {  // Rebalance: concatenation plus the deferred transfers
+          for (auto& b : deposited) {
+            for (std::size_t i = 0; i < b.count(); ++i) merged->append_raw(b.record_ptr(i));
+          }
+          co_await eng.sim().delay(
+              static_cast<sim::Duration>(n) *
+              eng.cluster().node(node).record_time(1.0, static_cast<double>(
+                                                            term->out_desc->stride())));
+        }
+        result.parts[static_cast<std::size_t>(t_index)] = {node, std::move(merged)};
+        w.slots().release();
+        (void)ss;
+        join.done();
+      }(*this, stage, exchange, *out, t, stat, merge_wg));
+    }
+    co_await merge_wg.wait();
+  }
+
+  stat.end = now();
+  stat.records_out = out->total_records();
+  job.stats().shuffle_bytes += stat.shuffle_bytes;
+  job.stats().stages.push_back(std::move(stat));
+  co_return out;
+}
+
+// ---- Actions ----------------------------------------------------------------
+
+sim::Co<DataHandle> Engine::materialize(Job& job, PlanNodePtr sink) {
+  co_return co_await run_plan(job, sink);
+}
+
+sim::Co<std::shared_ptr<mem::RecordBatch>> Engine::collect(Job& job, PlanNodePtr sink) {
+  DataHandle data = co_await run_plan(job, sink);
+  // Gather partitions to the master through a combining tree (how Flink
+  // funnels accumulator-style results): latency is bounded below by the
+  // master actually receiving all bytes, and by tree depth otherwise.
+  std::uint64_t total = 0, max_part = 0;
+  for (const auto& part : data->parts) {
+    if (!part.batch) continue;
+    total += part.batch->byte_size();
+    max_part = std::max<std::uint64_t>(max_part, part.batch->byte_size());
+  }
+  if (total > 0 && !config_.cluster.colocated_master) {
+    const net::NicSpec& nic = config_.cluster.worker.nic;
+    const int rounds = tree_rounds(num_workers());
+    const sim::Duration tree_time =
+        static_cast<sim::Duration>(rounds) *
+        (nic.latency * 2 + sim::transfer_time(max_part, nic.bandwidth));
+    const sim::Duration funnel_time =
+        nic.latency + sim::transfer_time(total, config_.cluster.master.nic.bandwidth);
+    cluster_.metrics().inc("net.bytes", static_cast<double>(total));
+    co_await sim_.delay(std::max(tree_time, funnel_time));
+  }
+  auto merged = std::make_shared<mem::RecordBatch>(data->desc);
+  for (const auto& part : data->parts) {
+    if (!part.batch) continue;
+    for (std::size_t i = 0; i < part.batch->count(); ++i) {
+      merged->append_raw(part.batch->record_ptr(i));
+    }
+  }
+  co_return merged;
+}
+
+sim::Co<std::uint64_t> Engine::count(Job& job, PlanNodePtr sink) {
+  DataHandle data = co_await run_plan(job, sink);
+  // Count is metadata-only: one message per worker that owns partitions.
+  std::vector<bool> seen(static_cast<std::size_t>(num_workers()) + 1, false);
+  for (const auto& part : data->parts) {
+    if (part.batch && !seen[static_cast<std::size_t>(part.worker)]) {
+      seen[static_cast<std::size_t>(part.worker)] = true;
+      co_await cluster_.message(part.worker, 0);
+    }
+  }
+  co_return data->total_records();
+}
+
+sim::Co<void> Engine::write_dfs(Job& job, PlanNodePtr sink, const std::string& path) {
+  DataHandle data = co_await run_plan(job, sink);
+  sim::WaitGroup wg(sim_);
+  for (const auto& part : data->parts) {
+    if (!part.batch || part.batch->empty()) continue;
+    wg.add();
+    job.stats().io_bytes_written += part.batch->byte_size();
+    sim_.spawn([](Engine& eng, const MaterializedDataSet::Part& p, std::string file,
+                  sim::WaitGroup& join) -> sim::Co<void> {
+      co_await eng.dfs().write(p.worker, file + ".part" + std::to_string(p.worker),
+                               p.batch->byte_size());
+      join.done();
+    }(*this, part, path, wg));
+  }
+  co_await wg.wait();
+}
+
+// ---- Handle-level operations -------------------------------------------------
+
+sim::Co<DataHandle> Engine::join(Job& job, const DataHandle& left, const DataHandle& right,
+                                 KeyFn left_key, KeyFn right_key, JoinFn join_fn,
+                                 const mem::StructDesc* out_desc, OpCost cost, int partitions,
+                                 const std::string& name) {
+  GFLINK_CHECK(job.submitted());
+  const int nparts = partitions > 0 ? partitions : default_parallelism_;
+
+  StageStat stat;
+  stat.name = name;
+  stat.begin = now();
+  stat.tasks = static_cast<int>(left->parts.size() + right->parts.size());
+
+  co_await sim_.delay(config_.stage_schedule_overhead);
+
+  // Phase 1: co-partition both inputs by key hash.
+  Exchange lex, rex;
+  lex.buckets.resize(static_cast<std::size_t>(nparts));
+  rex.buckets.resize(static_cast<std::size_t>(nparts));
+  sim::WaitGroup wg(sim_);
+  auto scatter = [&](const DataHandle& side, const KeyFn& key, Exchange& ex) {
+    for (const auto& part : side->parts) {
+      if (!part.batch) continue;
+      wg.add();
+      sim_.spawn([](Engine& eng, const MaterializedDataSet::Part& p, const KeyFn& kf,
+                    Exchange& e, int np, StageStat& ss, sim::WaitGroup& join) -> sim::Co<void> {
+        Worker& w = eng.worker_state(p.worker);
+        co_await w.slots().acquire();
+        std::vector<mem::RecordBatch> buckets;
+        for (int t = 0; t < np; ++t) buckets.emplace_back(&p.batch->desc());
+        for (std::size_t i = 0; i < p.batch->count(); ++i) {
+          const std::byte* rec = p.batch->record_ptr(i);
+          buckets[static_cast<std::size_t>(target_partition(kf(rec), np))].append_raw(rec);
+        }
+        co_await eng.sim().delay(
+            static_cast<sim::Duration>(p.batch->count()) *
+            eng.cluster().node(p.worker).record_time(
+                16.0, static_cast<double>(p.batch->desc().stride())));
+        for (int t = 0; t < np; ++t) {
+          auto& b = buckets[static_cast<std::size_t>(t)];
+          if (b.empty()) continue;
+          const int dst = eng.owner_of_partition(t);
+          if (dst != p.worker) {
+            const std::uint64_t bytes = b.byte_size();
+            co_await eng.cluster().transfer(p.worker, dst, bytes, "join-shuffle");
+            ss.shuffle_bytes += bytes;
+          }
+          e.buckets[static_cast<std::size_t>(t)].push_back(std::move(b));
+        }
+        w.slots().release();
+        join.done();
+      }(*this, part, key, ex, nparts, stat, wg));
+    }
+  };
+  scatter(left, left_key, lex);
+  scatter(right, right_key, rex);
+  co_await wg.wait();
+
+  // Phase 2: per-partition hash join (build on left, probe with right).
+  auto out = std::make_shared<MaterializedDataSet>();
+  out->desc = out_desc;
+  out->parts.resize(static_cast<std::size_t>(nparts));
+  sim::WaitGroup jg(sim_);
+  for (int t = 0; t < nparts; ++t) {
+    jg.add();
+    sim_.spawn([](Engine& eng, Exchange& le, Exchange& re, MaterializedDataSet& result,
+                  const KeyFn& lk, const KeyFn& rk, const JoinFn& jf, OpCost c, int t_index,
+                  sim::WaitGroup& join) -> sim::Co<void> {
+      const int node = eng.owner_of_partition(t_index);
+      Worker& w = eng.worker_state(node);
+      co_await w.slots().acquire();
+      auto& lbs = le.buckets[static_cast<std::size_t>(t_index)];
+      auto& rbs = re.buckets[static_cast<std::size_t>(t_index)];
+      std::unordered_multimap<std::uint64_t, const std::byte*> table;
+      std::uint64_t nl = 0, nr = 0;
+      for (const auto& b : lbs) {
+        for (std::size_t i = 0; i < b.count(); ++i) {
+          table.emplace(lk(b.record_ptr(i)), b.record_ptr(i));
+          ++nl;
+        }
+      }
+      auto merged = std::make_shared<mem::RecordBatch>(result.desc);
+      Emitter emitter(*merged);
+      for (const auto& b : rbs) {
+        for (std::size_t i = 0; i < b.count(); ++i) {
+          const std::byte* rec = b.record_ptr(i);
+          auto [lo, hi] = table.equal_range(rk(rec));
+          for (auto it = lo; it != hi; ++it) jf(it->second, rec, emitter);
+          ++nr;
+        }
+      }
+      co_await eng.sim().delay(
+          static_cast<sim::Duration>(nl + nr + emitter.emitted()) *
+          eng.cluster().node(node).record_time(c.flops, c.bytes));
+      result.parts[static_cast<std::size_t>(t_index)] = {node, std::move(merged)};
+      w.slots().release();
+      join.done();
+    }(*this, lex, rex, *out, left_key, right_key, join_fn, cost, t, jg));
+  }
+  co_await jg.wait();
+
+  stat.end = now();
+  stat.records_out = out->total_records();
+  job.stats().shuffle_bytes += stat.shuffle_bytes;
+  job.stats().stages.push_back(std::move(stat));
+  co_return out;
+}
+
+sim::Co<void> Engine::checkpoint(Job& job, const std::string& name, std::uint64_t bytes) {
+  co_await dfs_.write(0, "/checkpoints/" + job.stats().name + "/" + name, bytes);
+  job.stats().io_bytes_written += bytes;
+  cluster_.metrics().inc("fault.checkpoints");
+}
+
+sim::Co<DataHandle> Engine::co_group(Job& job, const DataHandle& left,
+                                     const DataHandle& right, KeyFn left_key, KeyFn right_key,
+                                     CoGroupFn group_fn, const mem::StructDesc* out_desc,
+                                     OpCost cost, int partitions, const std::string& name) {
+  GFLINK_CHECK(job.submitted());
+  const int nparts = partitions > 0 ? partitions : default_parallelism_;
+
+  StageStat stat;
+  stat.name = name;
+  stat.begin = now();
+  stat.tasks = static_cast<int>(left->parts.size() + right->parts.size());
+  co_await sim_.delay(config_.stage_schedule_overhead);
+
+  // Phase 1: co-partition both sides by key hash (same as join).
+  Exchange lex, rex;
+  lex.buckets.resize(static_cast<std::size_t>(nparts));
+  rex.buckets.resize(static_cast<std::size_t>(nparts));
+  sim::WaitGroup wg(sim_);
+  auto scatter = [&](const DataHandle& side, const KeyFn& key, Exchange& ex) {
+    for (const auto& part : side->parts) {
+      if (!part.batch) continue;
+      wg.add();
+      sim_.spawn([](Engine& eng, const MaterializedDataSet::Part& p, const KeyFn& kf,
+                    Exchange& e, int np, StageStat& ss, sim::WaitGroup& join) -> sim::Co<void> {
+        Worker& w = eng.worker_state(p.worker);
+        co_await w.slots().acquire();
+        std::vector<mem::RecordBatch> buckets;
+        for (int t = 0; t < np; ++t) buckets.emplace_back(&p.batch->desc());
+        for (std::size_t i = 0; i < p.batch->count(); ++i) {
+          const std::byte* rec = p.batch->record_ptr(i);
+          buckets[static_cast<std::size_t>(target_partition(kf(rec), np))].append_raw(rec);
+        }
+        co_await eng.sim().delay(
+            static_cast<sim::Duration>(p.batch->count()) *
+            eng.cluster().node(p.worker).record_time(
+                16.0, static_cast<double>(p.batch->desc().stride())));
+        for (int t = 0; t < np; ++t) {
+          auto& b = buckets[static_cast<std::size_t>(t)];
+          if (b.empty()) continue;
+          const int dst = eng.owner_of_partition(t);
+          if (dst != p.worker) {
+            const std::uint64_t bytes = b.byte_size();
+            co_await eng.cluster().transfer(p.worker, dst, bytes, "cogroup-shuffle");
+            ss.shuffle_bytes += bytes;
+          }
+          e.buckets[static_cast<std::size_t>(t)].push_back(std::move(b));
+        }
+        w.slots().release();
+        join.done();
+      }(*this, part, key, ex, nparts, stat, wg));
+    }
+  };
+  scatter(left, left_key, lex);
+  scatter(right, right_key, rex);
+  co_await wg.wait();
+
+  // Phase 2: per-partition grouping, then one group_fn call per key.
+  auto out = std::make_shared<MaterializedDataSet>();
+  out->desc = out_desc;
+  out->parts.resize(static_cast<std::size_t>(nparts));
+  sim::WaitGroup gg(sim_);
+  for (int t = 0; t < nparts; ++t) {
+    gg.add();
+    sim_.spawn([](Engine& eng, Exchange& le, Exchange& re, MaterializedDataSet& result,
+                  const KeyFn& lk, const KeyFn& rk, const CoGroupFn& gf, OpCost c, int t_index,
+                  sim::WaitGroup& join) -> sim::Co<void> {
+      const int node = eng.owner_of_partition(t_index);
+      Worker& w = eng.worker_state(node);
+      co_await w.slots().acquire();
+      std::map<std::uint64_t, std::pair<std::vector<const std::byte*>,
+                                        std::vector<const std::byte*>>>
+          groups;
+      std::uint64_t n = 0;
+      for (const auto& b : le.buckets[static_cast<std::size_t>(t_index)]) {
+        for (std::size_t i = 0; i < b.count(); ++i) {
+          groups[lk(b.record_ptr(i))].first.push_back(b.record_ptr(i));
+          ++n;
+        }
+      }
+      for (const auto& b : re.buckets[static_cast<std::size_t>(t_index)]) {
+        for (std::size_t i = 0; i < b.count(); ++i) {
+          groups[rk(b.record_ptr(i))].second.push_back(b.record_ptr(i));
+          ++n;
+        }
+      }
+      auto merged = std::make_shared<mem::RecordBatch>(result.desc);
+      Emitter emitter(*merged);
+      for (const auto& [key, group] : groups) {
+        gf(group.first, group.second, emitter);
+      }
+      co_await eng.sim().delay(static_cast<sim::Duration>(n + emitter.emitted()) *
+                               eng.cluster().node(node).record_time(c.flops, c.bytes));
+      result.parts[static_cast<std::size_t>(t_index)] = {node, std::move(merged)};
+      w.slots().release();
+      join.done();
+    }(*this, lex, rex, *out, left_key, right_key, group_fn, cost, t, gg));
+  }
+  co_await gg.wait();
+
+  stat.end = now();
+  stat.records_out = out->total_records();
+  job.stats().shuffle_bytes += stat.shuffle_bytes;
+  job.stats().stages.push_back(std::move(stat));
+  co_return out;
+}
+
+DataHandle Engine::union_of(const DataHandle& a, const DataHandle& b) const {
+  GFLINK_CHECK_MSG(a->desc == b->desc, "union of different record types");
+  auto out = std::make_shared<MaterializedDataSet>();
+  out->desc = a->desc;
+  out->parts = a->parts;
+  out->parts.insert(out->parts.end(), b->parts.begin(), b->parts.end());
+  return out;
+}
+
+sim::Co<void> Engine::broadcast(Job& job, std::uint64_t bytes) {
+  // Flink distributes broadcast variables worker-to-worker (a binomial
+  // tree), not through the master's single NIC: each round every holder
+  // forwards to one new node, so latency is ceil(log2(W+1)) transfer times.
+  (void)job;
+  if (config_.cluster.colocated_master) co_return;
+  const net::NicSpec& nic = config_.cluster.worker.nic;
+  const int rounds = tree_rounds(num_workers());
+  const sim::Duration per_round = nic.latency * 2 + sim::transfer_time(bytes, nic.bandwidth);
+  cluster_.metrics().inc("net.bytes",
+                         static_cast<double>(bytes) * static_cast<double>(num_workers()));
+  co_await sim_.delay(static_cast<sim::Duration>(rounds) * per_round);
+}
+
+sim::Co<void> Engine::gather(Job& job, std::uint64_t bytes_per_worker) {
+  // Mirror of broadcast: a binomial combining tree toward the master.
+  (void)job;
+  if (config_.cluster.colocated_master) co_return;
+  const net::NicSpec& nic = config_.cluster.worker.nic;
+  const int rounds = tree_rounds(num_workers());
+  const sim::Duration per_round =
+      nic.latency * 2 + sim::transfer_time(bytes_per_worker, nic.bandwidth);
+  cluster_.metrics().inc("net.bytes", static_cast<double>(bytes_per_worker) *
+                                          static_cast<double>(num_workers()));
+  co_await sim_.delay(static_cast<sim::Duration>(rounds) * per_round);
+}
+
+}  // namespace gflink::dataflow

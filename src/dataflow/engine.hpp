@@ -1,0 +1,299 @@
+// The dataflow engine: an in-memory, master/worker MapReduce runtime that
+// stands in for Apache Flink (see DESIGN.md substitution table).
+//
+// Responsibilities mirrored from Flink:
+//  * JobManager on the master: job submission, stage scheduling, barriers;
+//  * TaskManager per worker: task slots (one per CPU core by default),
+//    paged memory budget, per-record iterator execution of operator chains;
+//  * hash shuffles over the cluster network with map-side combine;
+//  * materialized in-memory datasets that persist across jobs (the
+//    "in-memory computing" substrate iterative workloads rely on);
+//  * DFS sources/sinks with locality-aware split assignment.
+//
+// The GFlink GPU layer plugs in through two extension points: the per-node
+// `extension` pointer on Worker (a GpuManager) and the AsyncPartition
+// operator kind (a GPU-based mapper/reducer submitting GWork).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dataflow/plan.hpp"
+#include "dataflow/types.hpp"
+#include "dfs/gdfs.hpp"
+#include "mem/memory_manager.hpp"
+#include "net/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace gflink::dataflow {
+
+class Engine;
+class Job;
+
+struct EngineConfig {
+  net::ClusterConfig cluster;
+  dfs::GdfsConfig dfs;
+  /// Task slots per worker; 0 means one per CPU core (Flink's default).
+  int slots_per_worker = 0;
+  /// Flink-style memory pages (also the GPU block size in GFlink).
+  std::size_t page_size = 32 * 1024;
+  std::size_t memory_pages_per_worker = 1 << 18;  // 8 GB at 32 KB pages
+  /// Client -> JobManager submission (jar upload, plan translation).
+  sim::Duration job_submit_overhead = sim::millis(900);
+  /// JobManager plan optimization + initial resource assignment.
+  sim::Duration job_schedule_overhead = sim::millis(400);
+  /// Per-stage scheduling work at the JobManager.
+  sim::Duration stage_schedule_overhead = sim::millis(8);
+  /// Per-task deployment (serialize task descriptor, RPC to the worker).
+  sim::Duration task_deploy_overhead = sim::micros(300);
+  /// Time from a worker dying to the JobManager detecting it (heartbeat
+  /// interval x missed-beat threshold — Flink's akka.watch defaults).
+  sim::Duration failure_detection_delay = sim::millis(500);
+  bool trace = false;
+};
+
+/// Thrown inside a task when its worker dies mid-execution; caught by the
+/// stage runner, which retries the partition on a healthy worker.
+struct TaskFailed {
+  int worker = 0;
+};
+
+struct StageStat {
+  std::string name;
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  int tasks = 0;
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t shuffle_bytes = 0;
+};
+
+struct JobStats {
+  std::string name;
+  sim::Time submitted_at = 0;
+  sim::Time running_at = 0;   // submission + scheduling done
+  sim::Time finished_at = 0;  // set by Job::finish()
+  std::vector<StageStat> stages;
+  std::uint64_t io_bytes_read = 0;
+  std::uint64_t io_bytes_written = 0;
+  std::uint64_t shuffle_bytes = 0;
+
+  sim::Duration total() const { return finished_at - submitted_at; }
+};
+
+/// Per-worker runtime state (the TaskManager).
+class Worker {
+ public:
+  Worker(sim::Simulation& sim, int node_id, int slots, std::size_t page_size,
+         std::size_t pages)
+      : node_id_(node_id), slots_(sim, slots), memory_(sim, page_size, pages) {}
+
+  int node_id() const { return node_id_; }
+  sim::Semaphore& slots() { return slots_; }
+  mem::MemoryManager& memory() { return memory_; }
+
+  /// Opaque extension installed by the GFlink layer (core::GpuManager).
+  void* extension() const { return extension_; }
+  void set_extension(void* ext) { extension_ = ext; }
+
+ private:
+  int node_id_;
+  sim::Semaphore slots_;
+  mem::MemoryManager memory_;
+  void* extension_ = nullptr;
+};
+
+/// What a running task sees: its worker, the engine services, and the
+/// GFlink extension point.
+class TaskContext {
+ public:
+  TaskContext(Engine& engine, Job& job, int worker_node, int partition_index)
+      : engine_(&engine), job_(&job), worker_node_(worker_node),
+        partition_index_(partition_index) {}
+
+  Engine& engine() { return *engine_; }
+  Job& job() { return *job_; }
+  int worker() const { return worker_node_; }
+  /// Index of the partition this task processes — stable across iterations,
+  /// which is what GPU cache keys are derived from.
+  int partition() const { return partition_index_; }
+  sim::Simulation& sim();
+  net::Node& node();
+  Worker& worker_state();
+  void* extension();
+
+ private:
+  Engine* engine_;
+  Job* job_;
+  int worker_node_;
+  int partition_index_;
+};
+
+/// A submitted job: the accounting scope for Eq. (1)'s terms. Drivers
+/// typically submit one job per application and run many actions
+/// (iterations) inside it, matching Flink's single-job iterative plans.
+class Job {
+ public:
+  Job(Engine& engine, std::string name);
+
+  /// Client -> master submission + plan scheduling. Must be awaited before
+  /// any action.
+  sim::Co<void> submit();
+
+  /// Mark the job finished (records the completion time).
+  void finish();
+
+  bool submitted() const { return submitted_; }
+  JobStats& stats() { return stats_; }
+  const JobStats& stats() const { return stats_; }
+  Engine& engine() { return *engine_; }
+  /// Cluster-unique job id (scopes GPU cache regions).
+  std::uint64_t id() const { return id_; }
+
+ private:
+  Engine* engine_;
+  JobStats stats_;
+  std::uint64_t id_;
+  bool submitted_ = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& config);
+
+  sim::Simulation& sim() { return sim_; }
+  net::Cluster& cluster() { return cluster_; }
+  dfs::Gdfs& dfs() { return dfs_; }
+  const EngineConfig& config() const { return config_; }
+  sim::Time now() const { return sim_.now(); }
+
+  int num_workers() const { return cluster_.num_workers(); }
+  int default_parallelism() const { return default_parallelism_; }
+  Worker& worker_state(int node_id);
+
+  /// Install the GFlink extension on a worker node.
+  void set_extension(int node_id, void* ext) { worker_state(node_id).set_extension(ext); }
+
+  // ---- Fault tolerance ---------------------------------------------------
+
+  /// Inject a worker failure at absolute virtual time `at`. A zero
+  /// `down_for` means the node never rejoins; otherwise it comes back (with
+  /// empty memory) after that long. Tasks executing there fail once the
+  /// JobManager detects the death and are retried on healthy workers.
+  void schedule_worker_failure(int worker, sim::Time at, sim::Duration down_for = 0);
+
+  bool worker_alive(int worker) const {
+    return alive_.at(static_cast<std::size_t>(worker));
+  }
+  int alive_workers() const;
+  std::uint64_t tasks_failed() const { return tasks_failed_; }
+  std::uint64_t tasks_retried() const { return tasks_retried_; }
+
+  /// A modeled-work delay on `worker` that aborts (throws TaskFailed) if
+  /// the worker dies while it elapses. All task processing time goes
+  /// through this.
+  sim::Co<void> work_delay(int worker, sim::Duration d);
+
+  /// Run a driver program to completion (spawns it and drains the event
+  /// loop). Returns the final virtual time.
+  sim::Time run(std::function<sim::Co<void>(Engine&)> driver);
+
+  // ---- Actions on plans -------------------------------------------------
+
+  /// Execute the plan and leave the result distributed in cluster memory.
+  sim::Co<DataHandle> materialize(Job& job, PlanNodePtr sink);
+
+  /// Execute and gather all records to the master (driver).
+  sim::Co<std::shared_ptr<mem::RecordBatch>> collect(Job& job, PlanNodePtr sink);
+
+  /// Execute and return only the record count.
+  sim::Co<std::uint64_t> count(Job& job, PlanNodePtr sink);
+
+  /// Execute and write the result to a DFS file (replicated).
+  sim::Co<void> write_dfs(Job& job, PlanNodePtr sink, const std::string& path);
+
+  // ---- Handle-level operations ------------------------------------------
+
+  /// Repartitioning hash join of two materialized datasets.
+  sim::Co<DataHandle> join(Job& job, const DataHandle& left, const DataHandle& right,
+                           KeyFn left_key, KeyFn right_key, JoinFn join_fn,
+                           const mem::StructDesc* out_desc, OpCost cost, int partitions = 0,
+                           const std::string& name = "join");
+
+  /// Group records sharing a key from both sides and hand the full groups
+  /// to `group_fn` (Flink's coGroup). Same co-partitioning machinery as
+  /// join; the function sees all left then all right records of one key.
+  using CoGroupFn = std::function<void(const std::vector<const std::byte*>& left,
+                                       const std::vector<const std::byte*>& right,
+                                       Emitter& out)>;
+  sim::Co<DataHandle> co_group(Job& job, const DataHandle& left, const DataHandle& right,
+                               KeyFn left_key, KeyFn right_key, CoGroupFn group_fn,
+                               const mem::StructDesc* out_desc, OpCost cost, int partitions = 0,
+                               const std::string& name = "coGroup");
+
+  /// Union of two materialized datasets with the same record type: pure
+  /// metadata (partitions stay where they are; Flink's union is also free).
+  DataHandle union_of(const DataHandle& a, const DataHandle& b) const;
+
+  /// Send `bytes` from the master to every worker (broadcast variables,
+  /// e.g. the KMeans centers each superstep).
+  sim::Co<void> broadcast(Job& job, std::uint64_t bytes);
+
+  /// Gather `bytes_per_worker` from every worker to the master.
+  sim::Co<void> gather(Job& job, std::uint64_t bytes_per_worker);
+
+  /// Persist a driver-side snapshot of iterative state to the DFS
+  /// (replicated) — the lightweight-checkpoint hook of Flink's fault
+  /// tolerance (paper ref. [9]). Recovery is driver logic: re-read the
+  /// last snapshot and resume from its iteration.
+  sim::Co<void> checkpoint(Job& job, const std::string& name, std::uint64_t bytes);
+
+ private:
+  friend class TaskContext;
+
+  // Exchange buffers for one shuffle: buckets[target_partition] holds the
+  // batches deposited for that partition.
+  struct Exchange {
+    std::vector<std::vector<mem::RecordBatch>> buckets;
+  };
+
+  sim::Co<DataHandle> run_plan(Job& job, const PlanNodePtr& sink);
+  sim::Co<DataHandle> run_source(Job& job, const SourceSpec& source);
+  sim::Co<DataHandle> run_stage(Job& job, const Stage& stage, DataHandle input);
+
+  // One stage task over one partition. Returns buckets if the stage ends in
+  // a shuffle (deposited into `exchange`), else writes its output part.
+  sim::Co<void> stage_task(Job& job, const Stage& stage, int part_index,
+                           const MaterializedDataSet::Part& in,
+                           MaterializedDataSet& out, Exchange* exchange, int out_partitions,
+                           StageStat& stat);
+
+  // Apply the record-op chain; returns the resulting batch and charges CPU.
+  sim::Co<std::shared_ptr<mem::RecordBatch>> apply_record_ops(
+      Job& job, const Stage& stage, int worker, std::shared_ptr<mem::RecordBatch> batch);
+
+  // Local combine of `batch` into per-key accumulators.
+  static mem::RecordBatch combine_by_key(const OpNode& reduce, const mem::RecordBatch& batch);
+
+  int owner_of_partition(int index) const { return 1 + index % num_workers(); }
+
+  /// A healthy worker to retry a failed partition on (round-robin from the
+  /// failed node). Aborts if the whole cluster is dead.
+  int pick_alive_worker(int preferred) const;
+
+  EngineConfig config_;
+  sim::Simulation sim_;
+  net::Cluster cluster_;
+  dfs::Gdfs dfs_;
+  std::vector<std::unique_ptr<Worker>> workers_;  // index 0 unused (master)
+  int default_parallelism_;
+  std::uint64_t next_job_id_ = 1;
+  std::vector<bool> alive_;
+  std::uint64_t tasks_failed_ = 0;
+  std::uint64_t tasks_retried_ = 0;
+  friend class Job;
+};
+
+}  // namespace gflink::dataflow

@@ -1,0 +1,54 @@
+#include "gpu/device_spec.hpp"
+
+namespace gflink::gpu {
+
+DeviceSpec DeviceSpec::gtx750() {
+  DeviceSpec d;
+  d.name = "GTX750";
+  d.peak_flops = 1.044e12;   // 512 cores @ 1.02 GHz, Maxwell GM107
+  d.kernel_efficiency = 0.22;
+  d.mem_bandwidth = 80.0e9;
+  d.device_memory = 1ULL << 30;
+  d.copy_engines = 1;        // consumer Maxwell: one copy engine
+  d.pcie_bandwidth = 2.97e9;  // PCIe gen2 x16 effective
+  return d;
+}
+
+DeviceSpec DeviceSpec::c2050() {
+  DeviceSpec d;
+  d.name = "C2050";
+  d.peak_flops = 1.03e12;    // Fermi GF100, 448 cores @ 1.15 GHz
+  d.kernel_efficiency = 0.22;
+  d.mem_bandwidth = 144.0e9;
+  d.device_memory = 3ULL << 30;
+  d.copy_engines = 2;        // Tesla Fermi: dual DMA engines
+  d.pcie_bandwidth = 2.97e9;  // matches the paper's Table 2 plateau
+  return d;
+}
+
+DeviceSpec DeviceSpec::k20() {
+  DeviceSpec d;
+  d.name = "K20";
+  d.peak_flops = 3.52e12;    // Kepler GK110
+  d.kernel_efficiency = 0.25;
+  d.mem_bandwidth = 208.0e9;
+  d.device_memory = 5ULL << 30;
+  d.copy_engines = 2;
+  d.pcie_bandwidth = 5.0e9;  // PCIe gen2, better chipset
+  return d;
+}
+
+DeviceSpec DeviceSpec::p100() {
+  DeviceSpec d;
+  d.name = "P100";
+  d.peak_flops = 9.3e12;     // Pascal GP100
+  d.kernel_efficiency = 0.30;
+  d.mem_bandwidth = 732.0e9;
+  d.device_memory = 16ULL << 30;
+  d.copy_engines = 2;
+  d.pcie_bandwidth = 11.8e9;  // PCIe gen3 x16 effective
+  d.kernel_launch_overhead = sim::micros(5);
+  return d;
+}
+
+}  // namespace gflink::gpu

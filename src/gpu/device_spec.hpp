@@ -1,0 +1,41 @@
+// GPU device specifications and presets.
+//
+// The presets model the four boards used in the paper's evaluation
+// (GeForce GTX 750, Tesla C2050, Tesla K20, Tesla P100). Peak numbers come
+// from vendor datasheets; `kernel_efficiency` is the sustained fraction of
+// peak our MapReduce-style kernels achieve and is the main calibration knob
+// for Fig. 8(b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace gflink::gpu {
+
+using sim::Duration;
+
+struct DeviceSpec {
+  std::string name = "generic";
+  double peak_flops = 1.0e12;          // single-precision FLOP/s
+  double kernel_efficiency = 0.25;     // sustained fraction of peak
+  double mem_bandwidth = 150.0e9;      // device DRAM bytes/s
+  std::uint64_t device_memory = 3ULL << 30;
+  int copy_engines = 2;                // 1 = half duplex, 2 = full duplex
+  double pcie_bandwidth = 2.97e9;      // bytes/s per direction (effective)
+  Duration pcie_latency = sim::nanos(1800);     // DMA setup per transfer
+  Duration kernel_launch_overhead = sim::micros(7);
+  double pageable_penalty = 0.55;      // bandwidth fraction for non-pinned
+  /// Memory-bandwidth efficiency by batch layout (coalescing model):
+  /// indexed by mem::Layout {AoS, SoA, AoP}. AoS strided access wastes
+  /// cache lines; SoA/AoP are fully coalesced.
+  double layout_efficiency[3] = {0.40, 1.0, 1.0};
+
+  static DeviceSpec gtx750();
+  static DeviceSpec c2050();
+  static DeviceSpec k20();
+  static DeviceSpec p100();
+};
+
+}  // namespace gflink::gpu

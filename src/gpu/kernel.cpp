@@ -1,0 +1,39 @@
+#include "gpu/kernel.hpp"
+
+#include <algorithm>
+
+#include "gpu/device_spec.hpp"
+
+namespace gflink::gpu {
+
+sim::Duration kernel_duration(const Kernel& kernel, const DeviceSpec& spec, std::size_t items,
+                              mem::Layout layout) {
+  const double n = static_cast<double>(items);
+  const double flops = kernel.cost.flops_per_item * n + kernel.cost.fixed_flops;
+  const double bytes = kernel.cost.dram_bytes_per_item * n;
+  const double sustained = spec.peak_flops * spec.kernel_efficiency;
+  const double bw = spec.mem_bandwidth * spec.layout_efficiency[static_cast<int>(layout)];
+  const double compute_s = sustained > 0 ? flops / sustained : 0.0;
+  const double memory_s = bw > 0 ? bytes / bw : 0.0;
+  const double busy_s = std::max(compute_s, memory_s);
+  return spec.kernel_launch_overhead + static_cast<sim::Duration>(busy_s * sim::kSecond);
+}
+
+void KernelRegistry::register_kernel(Kernel kernel) {
+  GFLINK_CHECK_MSG(!kernel.name.empty(), "kernel needs a name");
+  GFLINK_CHECK_MSG(kernel.fn != nullptr, "kernel needs an implementation");
+  kernels_[kernel.name] = std::move(kernel);
+}
+
+const Kernel& KernelRegistry::lookup(const std::string& name) const {
+  auto it = kernels_.find(name);
+  GFLINK_CHECK_MSG(it != kernels_.end(), "unknown kernel: " + name);
+  return it->second;
+}
+
+KernelRegistry& KernelRegistry::global() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+}  // namespace gflink::gpu

@@ -1,0 +1,91 @@
+#include "mem/gstruct.hpp"
+
+#include <algorithm>
+
+namespace gflink::mem {
+
+const char* field_type_name(FieldType t) {
+  switch (t) {
+    case FieldType::U8: return "u8";
+    case FieldType::I8: return "i8";
+    case FieldType::U16: return "u16";
+    case FieldType::I16: return "i16";
+    case FieldType::U32: return "u32";
+    case FieldType::I32: return "i32";
+    case FieldType::U64: return "u64";
+    case FieldType::I64: return "i64";
+    case FieldType::F32: return "f32";
+    case FieldType::F64: return "f64";
+  }
+  return "?";
+}
+
+const char* layout_name(Layout l) {
+  switch (l) {
+    case Layout::AoS: return "AoS";
+    case Layout::SoA: return "SoA";
+    case Layout::AoP: return "AoP";
+  }
+  return "?";
+}
+
+std::size_t StructDesc::field_index(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  GFLINK_CHECK_MSG(false, "no such field: " + name);
+}
+
+std::size_t StructDesc::payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& f : fields_) total += f.byte_size();
+  return total;
+}
+
+StructDescBuilder::StructDescBuilder(std::string name, std::size_t alignment_cap)
+    : name_(std::move(name)), alignment_cap_(alignment_cap) {
+  GFLINK_CHECK_MSG(alignment_cap == 1 || alignment_cap == 2 || alignment_cap == 4 ||
+                       alignment_cap == 8 || alignment_cap == 16,
+                   "GStruct alignment must be a power of two in [1,16]");
+}
+
+StructDescBuilder& StructDescBuilder::field(std::string name, FieldType type,
+                                            std::size_t array_len, std::size_t host_offset) {
+  GFLINK_CHECK(array_len >= 1);
+  FieldDesc f;
+  f.name = std::move(name);
+  f.type = type;
+  f.array_len = array_len;
+  fields_.push_back(std::move(f));
+  host_offsets_.push_back(host_offset);
+  return *this;
+}
+
+namespace {
+std::size_t align_up(std::size_t x, std::size_t a) { return (x + a - 1) / a * a; }
+}  // namespace
+
+StructDesc StructDescBuilder::build() const {
+  GFLINK_CHECK_MSG(!fields_.empty(), "GStruct needs at least one field");
+  StructDesc d;
+  d.name_ = name_;
+  d.alignment_ = alignment_cap_;
+  d.fields_ = fields_;
+  d.host_offsets_ = host_offsets_;
+
+  std::size_t offset = 0;
+  std::size_t max_align = 1;
+  for (auto& f : d.fields_) {
+    // C layout: each field aligns to min(natural alignment, pack cap).
+    std::size_t natural = field_size(f.type);
+    std::size_t align = std::min(natural, alignment_cap_);
+    max_align = std::max(max_align, align);
+    offset = align_up(offset, align);
+    f.offset = offset;
+    offset += f.byte_size();
+  }
+  d.stride_ = align_up(offset, max_align);
+  return d;
+}
+
+}  // namespace gflink::mem

@@ -1,0 +1,72 @@
+// Flink-style paged memory management for one worker.
+//
+// Flink manages its memory as fixed-size pages ("memory segments"); GFlink
+// inherits this and additionally sizes GPU blocks to one page so that a
+// block can be DMA'd without straddling page boundaries (paper §5.1). The
+// page budget gives natural backpressure: tasks that want more memory wait
+// until previous batches are released.
+#pragma once
+
+#include <cstddef>
+
+#include "mem/buffer.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace gflink::mem {
+
+class MemoryManager {
+ public:
+  static constexpr std::size_t kDefaultPageSize = 32 * 1024;
+
+  MemoryManager(sim::Simulation& sim, std::size_t page_size, std::size_t total_pages)
+      : sim_(&sim), page_size_(page_size), total_pages_(total_pages), pages_(sim, total_pages) {}
+
+  std::size_t page_size() const { return page_size_; }
+  std::size_t total_pages() const { return total_pages_; }
+  std::size_t pages_available() const { return static_cast<std::size_t>(pages_.available()); }
+
+  std::size_t pages_for(std::size_t bytes) const {
+    return (bytes + page_size_ - 1) / page_size_;
+  }
+
+  /// Allocate an off-heap buffer, waiting for page budget if necessary.
+  /// The buffer returns its pages to the pool when the last reference drops.
+  sim::Co<HBufferPtr> allocate(std::size_t bytes, bool off_heap = true) {
+    const std::size_t pages = pages_for(bytes);
+    co_await pages_.acquire(static_cast<std::int64_t>(pages));
+    co_return wrap(bytes, pages, off_heap);
+  }
+
+  /// Non-blocking allocation: nullptr if the budget does not cover it now.
+  HBufferPtr try_allocate(std::size_t bytes, bool off_heap = true) {
+    const std::size_t pages = pages_for(bytes);
+    if (!pages_.try_acquire(static_cast<std::int64_t>(pages))) return nullptr;
+    return wrap(bytes, pages, off_heap);
+  }
+
+  /// Allocation that ignores the page budget — used for tiny metadata
+  /// buffers where modelling backpressure adds nothing.
+  HBufferPtr allocate_unbudgeted(std::size_t bytes, bool off_heap = true) {
+    return std::make_shared<HBuffer>(bytes, addresses_.allocate(bytes), off_heap);
+  }
+
+ private:
+  HBufferPtr wrap(std::size_t bytes, std::size_t pages, bool off_heap) {
+    auto* raw = new HBuffer(bytes, addresses_.allocate(bytes), off_heap);
+    // Custom deleter returns the page budget; MemoryManager must outlive
+    // all buffers it vends (owned by the worker, which owns the tasks).
+    return HBufferPtr(raw, [this, pages](HBuffer* p) {
+      delete p;
+      pages_.release(static_cast<std::int64_t>(pages));
+    });
+  }
+
+  sim::Simulation* sim_;
+  std::size_t page_size_;
+  std::size_t total_pages_;
+  sim::Semaphore pages_;
+  AddressSpace addresses_;
+};
+
+}  // namespace gflink::mem

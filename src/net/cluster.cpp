@@ -1,0 +1,55 @@
+#include "net/cluster.hpp"
+
+#include <algorithm>
+
+namespace gflink::net {
+
+Node::Node(sim::Simulation& sim, int id, const NodeSpec& spec, sim::Tracer* tracer)
+    : id_(id),
+      spec_(spec),
+      egress_(sim, "node" + std::to_string(id) + "/egress", spec.nic.bandwidth, spec.nic.latency,
+              tracer),
+      ingress_(sim, "node" + std::to_string(id) + "/ingress", spec.nic.bandwidth, spec.nic.latency,
+               tracer),
+      disk_read_(sim, "node" + std::to_string(id) + "/disk_read", spec.disk.read_bandwidth,
+                 spec.disk.access_latency, tracer),
+      disk_write_(sim, "node" + std::to_string(id) + "/disk_write", spec.disk.write_bandwidth,
+                  spec.disk.access_latency, tracer) {}
+
+Duration Node::record_time(double flops, double bytes) const {
+  double compute_s = flops / spec_.cpu.effective_flops;
+  double memory_s = bytes / spec_.cpu.mem_bandwidth;
+  auto work = static_cast<Duration>(std::max(compute_s, memory_s) * sim::kSecond);
+  return spec_.cpu.record_overhead + work;
+}
+
+Cluster::Cluster(sim::Simulation& sim, const ClusterConfig& config)
+    : sim_(&sim), colocated_master_(config.colocated_master) {
+  GFLINK_CHECK(config.num_workers >= 1);
+  GFLINK_CHECK_MSG(!config.colocated_master || config.num_workers == 1,
+                   "colocated master requires a single worker");
+  nodes_.push_back(std::make_unique<Node>(sim, 0, config.master, &tracer_));
+  for (int i = 1; i <= config.num_workers; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, i, config.worker, &tracer_));
+  }
+}
+
+sim::Co<void> Cluster::transfer(int src, int dst, std::uint64_t bytes, const std::string& label) {
+  if (src == dst) co_return;  // in-memory, no NIC involvement
+  if (colocated_master_ && (src == 0 || dst == 0)) co_return;
+  metrics_.inc("net.bytes", static_cast<double>(bytes));
+  metrics_.inc("net.transfers");
+  // Egress first, then ingress: the acquisition order (always egress before
+  // ingress, never the reverse) is deadlock-free by construction.
+  co_await node(src).egress().transfer(bytes, label);
+  co_await node(dst).ingress().transfer(bytes, label);
+}
+
+sim::Co<void> Cluster::message(int src, int dst) {
+  if (src == dst) co_return;
+  if (colocated_master_ && (src == 0 || dst == 0)) co_return;
+  metrics_.inc("net.messages");
+  co_await sim_->delay(node(src).spec().nic.latency + node(dst).spec().nic.latency);
+}
+
+}  // namespace gflink::net

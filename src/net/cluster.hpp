@@ -1,0 +1,167 @@
+// Cluster topology and hardware specifications.
+//
+// A Cluster is a master node plus N worker nodes, each with a CPU model, a
+// NIC, and a disk. These specs are the calibration surface of the whole
+// reproduction: the defaults model the paper's testbed (Intel i5-4590,
+// 16 GB RAM, 1 GbE, commodity SATA disks; GPUs are attached separately by
+// the gpu/core layers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/trace.hpp"
+
+namespace gflink::net {
+
+using sim::Duration;
+using sim::Time;
+
+/// CPU execution model for dataflow tasks.
+///
+/// A task processing records through Flink's one-element-a-time iterator
+/// chain pays `record_overhead` per record (iterator advance, virtual
+/// dispatch, (de)serialization bookkeeping — the JVM-side costs the paper
+/// calls out) plus a roofline term: max(flops / effective_gflops, bytes /
+/// mem_bandwidth) for the user function itself.
+struct CpuSpec {
+  int cores = 4;
+  double effective_flops = 4.0e9;   // per-core sustained scalar FLOP/s
+  double mem_bandwidth = 10.0e9;    // per-core streaming bytes/s
+  Duration record_overhead = 25;    // ns per record through the iterator
+};
+
+struct NicSpec {
+  double bandwidth = 117.0e6;       // bytes/s (1 GbE effective)
+  Duration latency = sim::micros(80);
+};
+
+struct DiskSpec {
+  double read_bandwidth = 150.0e6;  // bytes/s
+  double write_bandwidth = 120.0e6;
+  Duration access_latency = sim::millis(4);
+};
+
+struct NodeSpec {
+  CpuSpec cpu;
+  NicSpec nic;
+  DiskSpec disk;
+};
+
+/// A serially-drained resource (NIC direction, disk): requests queue FIFO
+/// and each occupies the pipe for latency + bytes/bandwidth.
+class Pipe {
+ public:
+  Pipe(sim::Simulation& sim, std::string name, double bandwidth, Duration latency,
+       sim::Tracer* tracer = nullptr)
+      : sim_(&sim),
+        name_(std::move(name)),
+        bandwidth_(bandwidth),
+        latency_(latency),
+        mutex_(sim),
+        tracer_(tracer) {}
+
+  /// Occupy the pipe for the duration of the transfer.
+  sim::Co<void> transfer(std::uint64_t bytes, const std::string& label = {}) {
+    co_await mutex_.lock();
+    Time begin = sim_->now();
+    co_await sim_->delay(latency_ + sim::transfer_time(bytes, bandwidth_));
+    bytes_moved_ += bytes;
+    ++transfers_;
+    if (tracer_) tracer_->record(name_, label, begin, sim_->now());
+    mutex_.unlock();
+  }
+
+  /// Time the pipe would take for `bytes` with no queueing.
+  Duration unloaded_time(std::uint64_t bytes) const {
+    return latency_ + sim::transfer_time(bytes, bandwidth_);
+  }
+
+  const std::string& name() const { return name_; }
+  double bandwidth() const { return bandwidth_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  std::uint64_t transfers() const { return transfers_; }
+  bool busy() const { return mutex_.locked(); }
+
+ private:
+  sim::Simulation* sim_;
+  std::string name_;
+  double bandwidth_;
+  Duration latency_;
+  sim::Mutex mutex_;
+  sim::Tracer* tracer_;
+  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+/// One machine in the cluster.
+class Node {
+ public:
+  Node(sim::Simulation& sim, int id, const NodeSpec& spec, sim::Tracer* tracer);
+
+  int id() const { return id_; }
+  const NodeSpec& spec() const { return spec_; }
+
+  Pipe& egress() { return egress_; }
+  Pipe& ingress() { return ingress_; }
+  Pipe& disk_read() { return disk_read_; }
+  Pipe& disk_write() { return disk_write_; }
+
+  /// CPU time for one record through an operator chain with the given
+  /// per-record work (roofline over flops and bytes) — excluding the pipe
+  /// resources above.
+  Duration record_time(double flops, double bytes) const;
+
+ private:
+  int id_;
+  NodeSpec spec_;
+  Pipe egress_;
+  Pipe ingress_;
+  Pipe disk_read_;
+  Pipe disk_write_;
+};
+
+struct ClusterConfig {
+  int num_workers = 10;
+  NodeSpec worker;
+  NodeSpec master;
+  /// Single-machine deployments run the JobManager on the worker host, so
+  /// master<->worker traffic is in-memory (the paper's Fig. 7b setup).
+  bool colocated_master = false;
+};
+
+/// Master (node 0) + workers (nodes 1..num_workers). Also hosts shared
+/// metrics and the tracer.
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, const ClusterConfig& config);
+
+  sim::Simulation& sim() { return *sim_; }
+  int num_workers() const { return static_cast<int>(nodes_.size()) - 1; }
+  Node& master() { return *nodes_.front(); }
+  Node& node(int id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  Node& worker(int index) { return *nodes_.at(static_cast<std::size_t>(index) + 1); }
+
+  sim::Tracer& tracer() { return tracer_; }
+  sim::MetricRegistry& metrics() { return metrics_; }
+
+  /// Bulk data transfer src -> dst through both NICs (store-and-forward at
+  /// the bottleneck rate). Local "transfers" are free.
+  sim::Co<void> transfer(int src, int dst, std::uint64_t bytes, const std::string& label = {});
+
+  /// Small control message (RPC): latency only, no bandwidth occupation.
+  sim::Co<void> message(int src, int dst);
+
+ private:
+  sim::Simulation* sim_;
+  bool colocated_master_ = false;
+  sim::Tracer tracer_;
+  sim::MetricRegistry metrics_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace gflink::net

@@ -1,0 +1,22 @@
+#include "sim/stats.hpp"
+
+namespace gflink::sim {
+
+double Histogram::quantile(double q) const {
+  if (summary_.count() == 0) return 0.0;
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(summary_.count()));
+  std::uint64_t seen = 0;
+  const std::size_t inner = counts_.size() - 2;
+  const double width = (hi_ - lo_) / static_cast<double>(inner);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      if (i == 0) return lo_;
+      if (i == counts_.size() - 1) return hi_;
+      return lo_ + (static_cast<double>(i - 1) + 0.5) * width;
+    }
+  }
+  return hi_;
+}
+
+}  // namespace gflink::sim

@@ -1,0 +1,96 @@
+// Lightweight metrics for simulation components.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gflink::sim {
+
+/// Streaming summary of a sequence of samples (count/sum/min/max/mean).
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi) with linear buckets plus
+/// under/overflow. Enough for latency distributions in tests and reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets + 2, 0) {}
+
+  void add(double x) {
+    summary_.add(x);
+    if (x < lo_) {
+      ++counts_.front();
+    } else if (x >= hi_) {
+      ++counts_.back();
+    } else {
+      auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                          static_cast<double>(counts_.size() - 2));
+      ++counts_[1 + idx];
+    }
+  }
+
+  const Summary& summary() const { return summary_; }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::size_t buckets() const { return counts_.size(); }
+
+  /// Approximate quantile from bucket midpoints.
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  Summary summary_;
+};
+
+/// Named counters/summaries shared by a simulation's components.
+/// Plain map keyed by string; simulations are single-threaded.
+class MetricRegistry {
+ public:
+  void inc(const std::string& name, double v = 1.0) { counters_[name] += v; }
+  double counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+  }
+  void observe(const std::string& name, double v) { summaries_[name].add(v); }
+  const Summary* summary(const std::string& name) const {
+    auto it = summaries_.find(name);
+    return it == summaries_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, Summary>& summaries() const { return summaries_; }
+  void clear() {
+    counters_.clear();
+    summaries_.clear();
+  }
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace gflink::sim

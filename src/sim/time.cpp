@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace gflink::sim {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  double ad = static_cast<double>(d < 0 ? -d : d);
+  const char* sign = d < 0 ? "-" : "";
+  if (ad >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f s", sign, ad / kSecond);
+  } else if (ad >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f ms", sign, ad / kMillisecond);
+  } else if (ad >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f us", sign, ad / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lld ns", sign, static_cast<long long>(d < 0 ? -d : d));
+  }
+  return buf;
+}
+
+}  // namespace gflink::sim

@@ -1,0 +1,46 @@
+// Virtual time for the discrete-event simulation.
+//
+// All timing in the simulator is expressed as signed 64-bit nanoseconds.
+// Using integers (not doubles) keeps event ordering exact and runs
+// bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gflink::sim {
+
+/// Absolute simulation time in nanoseconds since simulation start.
+using Time = std::int64_t;
+/// A span of simulation time in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Construct durations from scalar quantities. Fractional inputs are
+/// rounded to the nearest nanosecond.
+constexpr Duration nanos(std::int64_t n) { return n; }
+constexpr Duration micros(double us) { return static_cast<Duration>(us * kMicrosecond + 0.5); }
+constexpr Duration millis(double ms) { return static_cast<Duration>(ms * kMillisecond + 0.5); }
+constexpr Duration seconds(double s) { return static_cast<Duration>(s * kSecond + 0.5); }
+
+/// Convert a duration back to floating-point seconds (for reporting only).
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / kSecond; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double to_micros(Duration d) { return static_cast<double>(d) / kMicrosecond; }
+
+/// Time needed to move `bytes` at `bytes_per_second`, rounded up to 1 ns.
+constexpr Duration transfer_time(std::uint64_t bytes, double bytes_per_second) {
+  if (bytes == 0) return 0;
+  double s = static_cast<double>(bytes) / bytes_per_second;
+  auto d = static_cast<Duration>(s * kSecond);
+  return d > 0 ? d : 1;
+}
+
+/// Human-readable rendering, e.g. "1.234 s", "56.7 ms", "890 ns".
+std::string format_duration(Duration d);
+
+}  // namespace gflink::sim

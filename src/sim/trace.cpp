@@ -1,0 +1,47 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace gflink::sim {
+
+std::vector<Span> Tracer::lane(const std::string& name) const {
+  std::vector<Span> out;
+  for (const auto& s : spans_) {
+    if (s.lane == name) out.push_back(s);
+  }
+  return out;
+}
+
+Duration Tracer::busy_time(const std::string& lane_name) const {
+  auto spans = lane(lane_name);
+  if (spans.empty()) return 0;
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.begin < b.begin; });
+  Duration total = 0;
+  Time cur_begin = spans.front().begin;
+  Time cur_end = spans.front().end;
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].begin <= cur_end) {
+      cur_end = std::max(cur_end, spans[i].end);
+    } else {
+      total += cur_end - cur_begin;
+      cur_begin = spans[i].begin;
+      cur_end = spans[i].end;
+    }
+  }
+  total += cur_end - cur_begin;
+  return total;
+}
+
+bool Tracer::lanes_overlap(const std::string& a, const std::string& b) const {
+  auto sa = lane(a);
+  auto sb = lane(b);
+  for (const auto& x : sa) {
+    for (const auto& y : sb) {
+      if (x.overlaps(y)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gflink::sim

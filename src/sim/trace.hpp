@@ -1,0 +1,57 @@
+// Span tracer: records named intervals on named lanes of the virtual
+// timeline. Tests use it to assert pipeline structure (e.g. that H2D copies
+// of block i+1 overlap the kernel of block i), and benches use it to report
+// utilization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gflink::sim {
+
+struct Span {
+  std::string lane;   // e.g. "gpu0/copyH2D", "gpu0/kernel", "node3/nic"
+  std::string label;  // e.g. "block 17"
+  Time begin = 0;
+  Time end = 0;
+
+  Duration duration() const { return end - begin; }
+  bool overlaps(const Span& other) const { return begin < other.end && other.begin < end; }
+};
+
+class Tracer {
+ public:
+  /// Enabled tracers store spans; disabled tracers are no-ops (default).
+  explicit Tracer(bool enabled = false) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::string lane, std::string label, Time begin, Time end) {
+    if (!enabled_) return;
+    spans_.push_back(Span{std::move(lane), std::move(label), begin, end});
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// All spans on one lane, in recording order.
+  std::vector<Span> lane(const std::string& name) const;
+
+  /// Total busy time on a lane (union of spans; spans on one physical lane
+  /// should not overlap, but the union is computed defensively).
+  Duration busy_time(const std::string& lane) const;
+
+  /// True if any span on lane `a` overlaps any span on lane `b` in virtual
+  /// time — the pipeline-overlap predicate.
+  bool lanes_overlap(const std::string& a, const std::string& b) const;
+
+ private:
+  bool enabled_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace gflink::sim

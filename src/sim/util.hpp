@@ -1,0 +1,71 @@
+// Small shared utilities for the simulation substrate.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace gflink::sim {
+
+/// Abort with a message when an internal invariant is violated.
+/// Used for programmer errors, never for data-dependent conditions.
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const std::string& msg = {}) {
+  std::fprintf(stderr, "GFLINK_CHECK failed: %s at %s:%d %s\n", cond, file, line, msg.c_str());
+  std::abort();
+}
+
+#define GFLINK_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) ::gflink::sim::check_failed(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define GFLINK_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) ::gflink::sim::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// A move-only type-erased callable with signature void().
+///
+/// The standard std::function requires copy-constructible targets, which
+/// rules out lambdas that capture coroutine task objects or other move-only
+/// state. Event queues in the simulator store UniqueFunction instead.
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& f) : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  void operator()() {
+    GFLINK_CHECK(impl_ != nullptr);
+    impl_->call();
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    void call() override { fn(); }
+    F fn;
+  };
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace gflink::sim

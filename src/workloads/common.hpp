@@ -1,0 +1,91 @@
+// Shared benchmark scaffolding: the scaled testbed model, calibration
+// constants, and the per-run result record.
+//
+// ## The scaling model
+//
+// The paper's datasets (150-270 M points, 24-56 GB text) cannot be
+// processed record-for-record here, so benches run a uniformly *scaled*
+// replica of the testbed: data sizes are multiplied by `scale` (default
+// 1/1000) and — crucially — every fixed latency constant in the platform
+// (job submission, scheduling, RPC/NIC/disk/namenode latencies, cudaMalloc,
+// kernel launch, JNI redirect, PCIe setup) is multiplied by the same
+// factor, while bandwidths and per-record costs stay untouched. Block and
+// page sizes also scale, keeping block *counts* constant. Under this
+// transformation every simulated duration is `scale` times the full-size
+// duration, so ratios — speedups, crossovers, iteration shapes — are
+// preserved exactly. Reports extrapolate to full-size seconds by dividing
+// by `scale`.
+//
+// ## Calibration (targets in DESIGN.md)
+//
+// CPU: i5-4590 running JVM UDF code — 4 cores, ~0.5 GFLOP/s effective
+// scalar throughput per core on boxed/iterator-heavy inner loops, ~4 GB/s
+// effective copy bandwidth, 50 ns per-record iterator overhead.
+// GPUs: DeviceSpec presets (see gpu/device_spec.cpp). PCIe matches the
+// paper's Table 2 (2.97 GB/s plateau, ~1.8 us setup, ~0.2 us JNI).
+#pragma once
+
+#include "core/gpu_manager.hpp"
+#include "dataflow/dataset.hpp"
+#include "dataflow/engine.hpp"
+
+namespace gflink::workloads {
+
+namespace df = gflink::dataflow;
+namespace core = gflink::core;
+
+/// Testbed description for one benchmark run.
+struct Testbed {
+  int workers = 10;
+  int gpus_per_worker = 2;
+  gpu::DeviceSpec gpu_spec = gpu::DeviceSpec::c2050();
+  double scale = 1e-3;
+  /// GPU data-block size at full scale (scaled down like everything else).
+  std::size_t full_block_bytes = 4 << 20;
+  /// Per-job per-device GPU cache region at full scale (a user parameter;
+  /// sized to fit a C2050's 3 GB minus working buffers).
+  std::uint64_t full_cache_region = 2560ULL << 20;
+  core::CachePolicy cache_policy = core::CachePolicy::Fifo;
+  core::SchedulingPolicy scheduling = core::SchedulingPolicy::LocalityAware;
+  int streams_per_gpu = 4;
+  bool trace = false;
+};
+
+/// Scale a duration constant (min 0; sub-ns truncates to 0, which only
+/// affects constants that are negligible at full size too).
+inline sim::Duration scaled(sim::Duration d, double scale) {
+  return static_cast<sim::Duration>(static_cast<double>(d) * scale);
+}
+
+/// Build the dataflow engine config for a testbed.
+df::EngineConfig make_engine_config(const Testbed& tb);
+
+/// Build the GFlink GPU-layer config for a testbed.
+core::GpuManagerConfig make_gpu_config(const Testbed& tb);
+
+/// Register all workload kernels in the global registry (idempotent).
+void ensure_kernels_registered();
+
+/// Result of one workload run.
+struct RunResult {
+  /// Simulated wall time of the whole job, submission included.
+  sim::Duration total = 0;
+  /// Simulated wall time per iteration (iterative workloads). The first
+  /// iteration includes the DFS read; the last includes the DFS write.
+  std::vector<sim::Duration> iterations;
+  df::JobStats stats;
+  /// Workload-defined correctness probe (identical for CPU and GPU paths).
+  double checksum = 0.0;
+
+  /// Extrapolate a scaled duration to full-size seconds.
+  static double full_seconds(sim::Duration d, double scale) {
+    return sim::to_seconds(d) / scale;
+  }
+};
+
+/// Execution mode of a workload run.
+enum class Mode : std::uint8_t { Cpu, Gpu };
+
+inline const char* mode_name(Mode m) { return m == Mode::Cpu ? "CPU" : "GFlink"; }
+
+}  // namespace gflink::workloads

@@ -1,0 +1,195 @@
+#include "workloads/kmeans.hpp"
+
+#include <cmath>
+
+#include "core/gdst.hpp"
+#include "sim/random.hpp"
+
+namespace gflink::workloads::kmeans {
+
+namespace {
+
+// CPU cost of the assignment UDF: distance to k centers per point through
+// boxed floats and tuple wrappers, plus the aggregate record construction.
+// Calibrated to ~2.7 us/point of JVM time (the 384 raw flops run at far
+// below scalar peak in 2016-era Flink UDFs).
+const df::OpCost kAssignCost{1300.0, sizeof(Point) + sizeof(ClusterAgg)};
+// Combine of two aggregates.
+const df::OpCost kCombineCost{2.0 * kDim, 2.0 * sizeof(ClusterAgg)};
+
+int nearest_center(const Point& p, const std::vector<Point>& centers) {
+  int best = 0;
+  float best_d = 1e30f;
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    float d = 0;
+    for (int j = 0; j < kDim; ++j) {
+      const float diff = p.x[j] - centers[c].x[j];
+      d += diff * diff;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<Point> initial_centers(std::uint64_t seed) {
+  // Standard practice (and HiBench's): seed the centers with the first k
+  // input points.
+  std::vector<Point> centers(kClusters);
+  for (int c = 0; c < kClusters; ++c) {
+    centers[static_cast<std::size_t>(c)] = point_at(static_cast<std::uint64_t>(c), seed);
+  }
+  return centers;
+}
+
+}  // namespace
+
+Point point_at(std::uint64_t i, std::uint64_t seed) {
+  // Cluster ground truth: k well-separated centers, Gaussian-ish noise via
+  // a per-index hash (no shared RNG stream, so any partitioning of the
+  // index space produces the same multiset).
+  std::uint64_t h = i * 0x9e3779b97f4a7c15ULL + seed;
+  Point p;
+  const int truth = static_cast<int>(i % kClusters);
+  for (int j = 0; j < kDim; ++j) {
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Zero-centered noise in [-2, 2).
+    const float noise =
+        static_cast<float>(static_cast<std::int64_t>(h >> 40) - (1 << 23)) / (1 << 22);
+    p.x[j] = static_cast<float>(truth * 20 + (j % 3)) + noise;
+  }
+  return p;
+}
+
+df::DataSet<ClusterAgg> mapper(const df::DataSet<Point>& points, Mode mode,
+                               std::shared_ptr<std::vector<Point>> centers,
+                               std::uint64_t iteration) {
+  if (mode == Mode::Cpu) {
+    return points.map<ClusterAgg>(
+        &cluster_agg_desc(), "kmeansAssign", kAssignCost,
+        [centers](const Point& p) {
+          const int c = nearest_center(p, *centers);
+          ClusterAgg agg{};
+          agg.cluster = static_cast<std::uint64_t>(c);
+          for (int j = 0; j < kDim; ++j) agg.sum[j] = p.x[j];
+          agg.count = 1;
+          return agg;
+        });
+  }
+  ensure_kernels_registered();
+  core::GpuOpSpec spec;
+  spec.kernel = "cudaKmeansAssign";
+  spec.ptx_path = "/kernels/kmeans.ptx";
+  spec.layout = mem::Layout::SoA;
+  spec.cache_input = true;  // points are static across iterations
+  spec.cache_namespace = 1;
+  spec.out_items = [](std::size_t) { return static_cast<std::size_t>(kClusters); };
+  spec.make_aux = [centers, iteration](df::TaskContext& ctx) {
+    const std::uint64_t bytes = kClusters * sizeof(Point);
+    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);
+    buf->set_pinned(true);
+    buf->write(0, centers->data(), bytes);
+    core::GBuffer aux;
+    aux.host = std::move(buf);
+    aux.bytes = bytes;
+    aux.cache = true;  // one H2D per device per iteration
+    aux.cache_key = core::make_cache_key(100, 0, static_cast<std::uint32_t>(iteration));
+    aux.counts_for_locality = false;
+    return std::vector<core::GBuffer>{aux};
+  };
+  return core::gpu_dataset_op<Point, ClusterAgg>(points, &cluster_agg_desc(), "gpuKmeansAssign",
+                                                 std::move(spec));
+}
+
+sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Testbed& tb,
+                    Mode mode, const Config& config) {
+  GFLINK_CHECK_MSG(mode == Mode::Cpu || runtime != nullptr, "GPU mode needs a GFlinkRuntime");
+  const auto n = static_cast<std::uint64_t>(static_cast<double>(config.points) * tb.scale);
+  // Producer tasks run at full slot parallelism in both modes: GWork
+  // production is cheap, and the job's CPU-side stages (reduce, labelling,
+  // writes) need the slots either way.
+  const int partitions =
+      config.partitions > 0 ? config.partitions : engine.default_parallelism();
+
+  const std::string path = "/data/kmeans-" + std::to_string(n);
+  if (!engine.dfs().exists(path)) {
+    engine.dfs().create_file(path, n * sizeof(Point));
+  }
+
+  Result result;
+  auto centers = std::make_shared<std::vector<Point>>(initial_centers(config.seed));
+
+  df::Job job(engine, "kmeans");
+  co_await job.submit();
+
+  auto source = df::DataSet<Point>::from_generator(
+      engine, &point_desc(), partitions,
+      [n, partitions, seed = config.seed](int part, std::vector<Point>& out) {
+        for (std::uint64_t i = static_cast<std::uint64_t>(part); i < n;
+             i += static_cast<std::uint64_t>(partitions)) {
+          out.push_back(point_at(i, seed));
+        }
+      },
+      df::OpCost{8.0, sizeof(Point)}, path);
+
+  df::DataHandle points;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const sim::Time t0 = engine.now();
+    if (iter == 0) {
+      points = co_await source.materialize(job);  // DFS read, first iteration
+    }
+    auto ds = df::DataSet<Point>::from_handle(engine, points);
+    auto aggs = mapper(ds, mode, centers, static_cast<std::uint64_t>(iter))
+                    .reduce_by_key("kmeansReduce", kCombineCost,
+                                   [](const ClusterAgg& a) { return a.cluster; },
+                                   [](ClusterAgg& acc, const ClusterAgg& b) {
+                                     for (int j = 0; j < kDim; ++j) acc.sum[j] += b.sum[j];
+                                     acc.count += b.count;
+                                   });
+    auto partials = co_await aggs.collect(job);
+    for (const auto& agg : partials) {
+      if (agg.count == 0) continue;
+      Point& c = (*centers)[agg.cluster];
+      for (int j = 0; j < kDim; ++j) {
+        c.x[j] = agg.sum[j] / static_cast<float>(agg.count);
+      }
+    }
+    // Broadcast the new centers to every worker (the per-superstep shuffle
+    // the paper notes is KMeans' only shuffle).
+    co_await engine.broadcast(job, kClusters * sizeof(Point));
+
+    if (config.checkpoint_interval > 0 && (iter + 1) % config.checkpoint_interval == 0) {
+      co_await engine.checkpoint(job, "iter-" + std::to_string(iter),
+                                 kClusters * sizeof(Point));
+    }
+
+    if (iter == config.iterations - 1 && config.write_output) {
+      // Final pass: write each point's cluster assignment (point id ->
+      // cluster), which is why the last iteration rises (paper Fig. 7a).
+      auto labelled = df::DataSet<Point>::from_handle(engine, points)
+                          .map<VecEntry>(&vec_entry_desc(), "kmeansLabel",
+                                         df::OpCost{800.0, sizeof(Point)},
+                                         [centers](const Point& p) {
+                                           const int c = nearest_center(p, *centers);
+                                           return VecEntry{static_cast<std::uint64_t>(c),
+                                                           p.x[0]};
+                                         });
+      co_await labelled.write_dfs(job, "/out/kmeans");
+    }
+    result.run.iterations.push_back(engine.now() - t0);
+  }
+
+  job.finish();
+  if (runtime != nullptr) runtime->release_job(job.id());
+  result.run.stats = job.stats();
+  result.run.total = job.stats().total();
+  result.centers = *centers;
+  for (const auto& c : result.centers) {
+    for (int j = 0; j < kDim; ++j) result.run.checksum += c.x[j];
+  }
+  co_return result;
+}
+
+}  // namespace gflink::workloads::kmeans

@@ -1,0 +1,29 @@
+// PointAdd — the paper's running example (Algorithm 3.1): map each 2-D
+// point to {x + y, y}. Used by the Fig. 8 kernel-level and concurrency
+// experiments as the light third application.
+#pragma once
+
+#include "workloads/common.hpp"
+#include "workloads/records.hpp"
+
+namespace gflink::workloads::pointadd {
+
+struct Config {
+  std::uint64_t points = 100'000'000;  // full-scale count
+  int iterations = 1;
+  int partitions = 0;
+  std::uint64_t seed = 3;
+};
+
+struct Result {
+  RunResult run;
+};
+
+Pt pt_at(std::uint64_t i, std::uint64_t seed);
+
+df::DataSet<Pt> mapper(const df::DataSet<Pt>& points, Mode mode, std::uint64_t iteration);
+
+sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Testbed& tb,
+                    Mode mode, const Config& config);
+
+}  // namespace gflink::workloads::pointadd

@@ -1,0 +1,116 @@
+#include "workloads/records.hpp"
+
+namespace gflink::workloads {
+
+using mem::FieldType;
+using mem::StructDescBuilder;
+
+const mem::StructDesc& point_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("Point", 8)
+          .field("x", FieldType::F32, kDim, offsetof(Point, x))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& cluster_agg_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("ClusterAgg", 8)
+          .field("cluster", FieldType::U64, 1, offsetof(ClusterAgg, cluster))
+          .field("sum", FieldType::F32, kDim, offsetof(ClusterAgg, sum))
+          .field("count", FieldType::U64, 1, offsetof(ClusterAgg, count))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& sample_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("Sample", 8)
+          .field("x", FieldType::F32, kDim, offsetof(Sample, x))
+          .field("y", FieldType::F32, 1, offsetof(Sample, y))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& gradient_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("Gradient", 8)
+          .field("g", FieldType::F64, kDim + 1, offsetof(Gradient, g))
+          .field("count", FieldType::U64, 1, offsetof(Gradient, count))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& page_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("Page", 8)
+          .field("id", FieldType::U64, 1, offsetof(Page, id))
+          .field("out", FieldType::U64, kOutDegree, offsetof(Page, out))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& rank_msg_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("RankMsg", 8)
+          .field("page", FieldType::U32, 1, offsetof(RankMsg, page))
+          .field("rank", FieldType::F32, 1, offsetof(RankMsg, rank))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& vertex_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("Vertex", 8)
+          .field("id", FieldType::U64, 1, offsetof(Vertex, id))
+          .field("neighbour", FieldType::U64, kOutDegree, offsetof(Vertex, neighbour))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& label_msg_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("LabelMsg", 8)
+          .field("vertex", FieldType::U32, 1, offsetof(LabelMsg, vertex))
+          .field("label", FieldType::U32, 1, offsetof(LabelMsg, label))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& word_count_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("WordCount", 8)
+          .field("word", FieldType::U64, 1, offsetof(WordCount, word))
+          .field("count", FieldType::U64, 1, offsetof(WordCount, count))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& csr_row_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("CsrRow", 8)
+          .field("row", FieldType::U64, 1, offsetof(CsrRow, row))
+          .field("col", FieldType::U32, kNnzPerRow, offsetof(CsrRow, col))
+          .field("val", FieldType::F32, kNnzPerRow, offsetof(CsrRow, val))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& vec_entry_desc() {
+  static const mem::StructDesc d =
+      StructDescBuilder("VecEntry", 8)
+          .field("index", FieldType::U64, 1, offsetof(VecEntry, index))
+          .field("value", FieldType::F32, 1, offsetof(VecEntry, value))
+          .build();
+  return d;
+}
+
+const mem::StructDesc& pt_desc() {
+  static const mem::StructDesc d = StructDescBuilder("Pt", 8)
+                                       .field("x", FieldType::F32, 1, offsetof(Pt, x))
+                                       .field("y", FieldType::F32, 1, offsetof(Pt, y))
+                                       .build();
+  return d;
+}
+
+}  // namespace gflink::workloads

@@ -1,0 +1,110 @@
+// Record types (GStructs) shared by the benchmark workloads.
+//
+// Every struct mirrors its descriptor exactly (matches_host_layout holds),
+// so records travel through the engine and onto simulated GPUs as raw
+// GStruct bytes — the paper's zero-serialization representation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/gstruct.hpp"
+
+namespace gflink::workloads {
+
+inline constexpr int kDim = 16;        // KMeans / LinearRegression dimensionality
+inline constexpr int kClusters = 8;    // KMeans k
+inline constexpr int kOutDegree = 8;   // PageRank / ConnectedComponents fan-out
+inline constexpr int kNnzPerRow = 64;  // SpMV nonzeros per CSR row
+
+/// A KMeans point (the paper's HiBench-style input).
+struct Point {
+  float x[kDim];
+};
+
+/// Per-cluster partial aggregate: sum of member coordinates + count.
+struct ClusterAgg {
+  std::uint64_t cluster;
+  float sum[kDim];
+  std::uint64_t count;
+};
+
+/// A labelled sample for LinearRegression (batch gradient descent).
+struct Sample {
+  float x[kDim];
+  float y;
+};
+
+/// Partial gradient: per-weight sums plus the sample count.
+struct Gradient {
+  double g[kDim + 1];  // gradient w.r.t. weights + bias
+  std::uint64_t count;
+};
+
+/// A web page with its out-links and current rank (PageRank).
+struct Page {
+  std::uint64_t id;
+  std::uint64_t out[kOutDegree];
+};
+
+/// A rank contribution message (page <- contribution). Packed to 8 bytes:
+/// page ids fit 32 bits and f32 rank precision suffices, halving shuffle
+/// and gather volume (as a production implementation would).
+struct RankMsg {
+  std::uint32_t page;
+  float rank;
+};
+
+/// A graph vertex with neighbours and its current component label.
+struct Vertex {
+  std::uint64_t id;
+  std::uint64_t neighbour[kOutDegree];
+};
+
+/// A label propagation message (vertex <- candidate label). Packed to
+/// 8 bytes like RankMsg.
+struct LabelMsg {
+  std::uint32_t vertex;
+  std::uint32_t label;
+};
+
+/// A word occurrence (WordCount); `word` is the hashed token.
+struct WordCount {
+  std::uint64_t word;
+  std::uint64_t count;
+};
+
+/// One CSR matrix row with fixed nonzero count (SpMV).
+struct CsrRow {
+  std::uint64_t row;
+  std::uint32_t col[kNnzPerRow];
+  float val[kNnzPerRow];
+};
+
+/// One entry of the SpMV result vector.
+struct VecEntry {
+  std::uint64_t index;
+  float value;
+};
+
+/// A 2-D point for the paper's PointAdd example (Algorithm 3.1).
+struct Pt {
+  float x;
+  float y;
+};
+
+// Descriptors (built once; field order mirrors the struct declarations).
+const mem::StructDesc& point_desc();
+const mem::StructDesc& cluster_agg_desc();
+const mem::StructDesc& sample_desc();
+const mem::StructDesc& gradient_desc();
+const mem::StructDesc& page_desc();
+const mem::StructDesc& rank_msg_desc();
+const mem::StructDesc& vertex_desc();
+const mem::StructDesc& label_msg_desc();
+const mem::StructDesc& word_count_desc();
+const mem::StructDesc& csr_row_desc();
+const mem::StructDesc& vec_entry_desc();
+const mem::StructDesc& pt_desc();
+
+}  // namespace gflink::workloads

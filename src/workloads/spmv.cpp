@@ -1,0 +1,159 @@
+#include "workloads/spmv.hpp"
+
+#include <cmath>
+
+#include "core/gdst.hpp"
+
+namespace gflink::workloads::spmv {
+
+namespace {
+
+// CPU row UDF. Idiomatic Flink SpMV processes every nonzero as a Tuple3
+// (row, col, value) joined with the vector and grouped by row, costing on
+// the order of 1 us per nonzero (~64 us per row here) — this is the cost
+// the paper's cuBLAS-backed GPU path removes. Calibrated accordingly.
+const df::OpCost kRowCost{29500.0, sizeof(CsrRow) + 4.0 * kNnzPerRow};
+
+/// Full-scale vector size: the paper pairs a 1.0 GB matrix with a 123 MB
+/// vector (ratio ~1/8), capped so huge matrices keep a realistic vector.
+std::uint64_t vector_bytes_for(std::uint64_t matrix_bytes) {
+  return std::min<std::uint64_t>(matrix_bytes / 8, 256ULL << 20);
+}
+
+}  // namespace
+
+std::uint64_t rows_for(std::uint64_t matrix_bytes, double scale) {
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(matrix_bytes) * scale) / sizeof(CsrRow));
+}
+
+std::uint64_t cols_for(std::uint64_t matrix_bytes, double scale) {
+  return std::max<std::uint64_t>(
+      kNnzPerRow,
+      static_cast<std::uint64_t>(static_cast<double>(vector_bytes_for(matrix_bytes)) * scale) /
+          sizeof(float));
+}
+
+CsrRow row_at(std::uint64_t r, std::uint64_t n_cols, std::uint64_t seed) {
+  CsrRow row;
+  row.row = r;
+  std::uint64_t h = r * 0x9e3779b97f4a7c15ULL + seed;
+  for (int j = 0; j < kNnzPerRow; ++j) {
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    row.col[j] = static_cast<std::uint32_t>((h >> 16) % n_cols);
+    row.val[j] = static_cast<float>(static_cast<std::int32_t>(h & 0xffff) - 0x8000) / 0x8000;
+  }
+  return row;
+}
+
+df::DataSet<VecEntry> mapper(const df::DataSet<CsrRow>& rows, Mode mode,
+                             std::shared_ptr<std::vector<float>> x, std::uint64_t iteration,
+                             bool gpu_cache) {
+  if (mode == Mode::Cpu) {
+    return rows.map<VecEntry>(&vec_entry_desc(), "spmvRow", kRowCost,
+                              [x](const CsrRow& row) {
+                                float acc = 0;
+                                for (int j = 0; j < kNnzPerRow; ++j) {
+                                  acc += row.val[j] * (*x)[row.col[j]];
+                                }
+                                return VecEntry{row.row, acc};
+                              });
+  }
+  ensure_kernels_registered();
+  core::GpuOpSpec spec;
+  spec.kernel = "cudaSpmvRow";
+  spec.ptx_path = "/kernels/spmv.ptx";
+  spec.layout = mem::Layout::SoA;  // cuSPARSE-style columnar access
+  spec.cache_input = gpu_cache;    // the matrix is cached on first touch
+  spec.cache_namespace = 1;
+  spec.make_aux = [x, iteration, gpu_cache](df::TaskContext& ctx) {
+    const std::uint64_t bytes = x->size() * sizeof(float);
+    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);
+    buf->set_pinned(true);
+    buf->write(0, x->data(), bytes);
+    core::GBuffer aux;
+    aux.host = std::move(buf);
+    aux.bytes = bytes;
+    aux.cache = gpu_cache;  // one vector transfer per device per iteration
+    aux.cache_key = core::make_cache_key(100, 0, static_cast<std::uint32_t>(iteration));
+    aux.counts_for_locality = false;
+    return std::vector<core::GBuffer>{aux};
+  };
+  return core::gpu_dataset_op<CsrRow, VecEntry>(rows, &vec_entry_desc(), "gpuSpmvRow",
+                                                std::move(spec));
+}
+
+sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Testbed& tb,
+                    Mode mode, const Config& config) {
+  GFLINK_CHECK_MSG(mode == Mode::Cpu || runtime != nullptr, "GPU mode needs a GFlinkRuntime");
+  const std::uint64_t n_rows = rows_for(config.matrix_bytes, tb.scale);
+  const std::uint64_t n_cols = cols_for(config.matrix_bytes, tb.scale);
+  // Producer tasks run at full slot parallelism in both modes: GWork
+  // production is cheap, and the job's CPU-side stages (reduce, labelling,
+  // writes) need the slots either way.
+  const int partitions =
+      config.partitions > 0 ? config.partitions : engine.default_parallelism();
+  const std::string path = "/data/spmv-" + std::to_string(n_rows);
+  if (!engine.dfs().exists(path)) {
+    engine.dfs().create_file(path, n_rows * sizeof(CsrRow));
+  }
+
+  Result result;
+  result.rows = n_rows;
+  result.cols = n_cols;
+  auto x = std::make_shared<std::vector<float>>(n_cols, 1.0f);
+
+  df::Job job(engine, "spmv");
+  co_await job.submit();
+
+  auto source = df::DataSet<CsrRow>::from_generator(
+      engine, &csr_row_desc(), partitions,
+      [n_rows, n_cols, partitions, seed = config.seed](int part, std::vector<CsrRow>& out) {
+        for (std::uint64_t r = static_cast<std::uint64_t>(part); r < n_rows;
+             r += static_cast<std::uint64_t>(partitions)) {
+          out.push_back(row_at(r, n_cols, seed));
+        }
+      },
+      df::OpCost{16.0, sizeof(CsrRow)}, path);
+
+  // The benchmark repeatedly applies the static matrix to the static input
+  // vector (the paper's setup: the matrix is cached on the GPUs after the
+  // first iteration, and only the first/last iterations touch the DFS).
+  df::DataHandle rows;
+  std::vector<VecEntry> y_entries;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const sim::Time t0 = engine.now();
+    if (iter == 0) {
+      rows = co_await source.materialize(job);  // DFS read of the matrix
+      // Distribute the vector to the workers once.
+      co_await engine.broadcast(job, n_cols * sizeof(float));
+    }
+    auto ds = df::DataSet<CsrRow>::from_handle(engine, rows);
+    // The vector is static: cache key 0 on every iteration (one transfer
+    // per device for the whole job).
+    auto y = mapper(ds, mode, x, /*iteration=*/0, config.gpu_cache);
+    if (iter == config.iterations - 1) {
+      // Last iteration: pull the result vector to the driver and persist it.
+      y_entries = co_await y.collect(job);
+      if (config.write_output) {
+        co_await engine.dfs().write(0, "/out/spmv-" + std::to_string(n_rows),
+                                    n_rows * sizeof(float));
+        job.stats().io_bytes_written += n_rows * sizeof(float);
+      }
+    } else {
+      (void)co_await y.count(job);  // metadata-only action per superstep
+    }
+    result.run.iterations.push_back(engine.now() - t0);
+  }
+
+  job.finish();
+  if (runtime != nullptr) runtime->release_job(job.id());
+  result.run.stats = job.stats();
+  result.run.total = job.stats().total();
+  for (const auto& e : y_entries) {
+    if (e.index < 1024) result.run.checksum += e.value;
+  }
+  co_return result;
+}
+
+}  // namespace gflink::workloads::spmv

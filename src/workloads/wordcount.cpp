@@ -1,0 +1,101 @@
+#include "workloads/wordcount.hpp"
+
+#include "core/gdst.hpp"
+#include "sim/random.hpp"
+
+namespace gflink::workloads::wordcount {
+
+namespace {
+
+// Tokenization cost is charged at the source. The count combine pays JVM
+// string/Tuple2 handling on original Flink, raw GStruct bytes on GFlink.
+const df::OpCost kCountCostCpu{400.0, 2.0 * sizeof(WordCount)};
+const df::OpCost kCountCostGpu{310.0, 2.0 * sizeof(WordCount)};
+
+}  // namespace
+
+sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Testbed& tb,
+                    Mode mode, const Config& config) {
+  GFLINK_CHECK_MSG(mode == Mode::Cpu || runtime != nullptr, "GPU mode needs a GFlinkRuntime");
+  const auto bytes = static_cast<std::uint64_t>(static_cast<double>(config.text_bytes) * tb.scale);
+  const auto n_words =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     static_cast<double>(bytes) / config.bytes_per_word));
+  // Producer tasks run at full slot parallelism in both modes: GWork
+  // production is cheap, and the job's CPU-side stages (reduce, labelling,
+  // writes) need the slots either way.
+  const int partitions =
+      config.partitions > 0 ? config.partitions : engine.default_parallelism();
+  const std::string path = "/data/wordcount-" + std::to_string(bytes);
+  if (!engine.dfs().exists(path)) {
+    engine.dfs().create_file(path, bytes);
+  }
+
+  Result result;
+  df::Job job(engine, "wordcount");
+  co_await job.submit();
+
+  // Shared Zipf table (deterministic; sampling is per-partition seeded).
+  auto zipf = std::make_shared<sim::ZipfTable>(config.vocabulary, config.zipf_s);
+
+  auto source = df::DataSet<WordCount>::from_generator(
+      engine, &word_count_desc(), partitions,
+      [n_words, partitions, zipf, seed = config.seed](int part, std::vector<WordCount>& out) {
+        for (std::uint64_t i = static_cast<std::uint64_t>(part); i < n_words;
+             i += static_cast<std::uint64_t>(partitions)) {
+          // Word choice depends only on the global token index, so any
+          // partitioning yields the same multiset of words.
+          std::uint64_t h = i * 1000003 + seed;
+          const double u = static_cast<double>(sim::splitmix64(h) >> 11) * 0x1.0p-53;
+          out.push_back(WordCount{static_cast<std::uint64_t>(zipf->sample_u(u)), 1});
+        }
+      },
+      // Tokenizing ~12 bytes of text per record: split + hash (JVM string
+      // handling dominates WordCount's CPU cost).
+      df::OpCost{120.0, 24.0}, path);
+
+  df::DataSet<WordCount> counted = [&] {
+    if (mode == Mode::Cpu) {
+      return source.reduce_by_key("wordcountReduce", kCountCostCpu,
+                                  [](const WordCount& w) { return w.word; },
+                                  [](WordCount& acc, const WordCount& w) { acc.count += w.count; });
+    }
+    ensure_kernels_registered();
+    core::GpuOpSpec spec;
+    spec.kernel = "cudaWordcountBlock";
+    spec.ptx_path = "/kernels/wordcount.ptx";
+    spec.layout = mem::Layout::SoA;
+    // One pass: caching buys nothing (the paper's stated reason WordCount
+    // barely speeds up).
+    spec.cache_input = false;
+    auto partials = core::gpu_dataset_op<WordCount, WordCount>(source, &word_count_desc(),
+                                                               "gpuWordcountBlock", spec);
+    return partials
+        .filter("dropPadding", df::OpCost{2.0, sizeof(WordCount)},
+                [](const WordCount& w) { return w.word != ~0ULL; })
+        .reduce_by_key("wordcountReduce", kCountCostGpu,
+                       [](const WordCount& w) { return w.word; },
+                       [](WordCount& acc, const WordCount& w) { acc.count += w.count; });
+  }();
+
+  auto counts = co_await counted.collect(job);
+  result.total_words = 0;
+  for (const auto& w : counts) result.total_words += w.count;
+  result.distinct_words = counts.size();
+
+  if (config.write_output) {
+    co_await engine.dfs().write(0, "/out/wordcount", counts.size() * sizeof(WordCount));
+    job.stats().io_bytes_written += counts.size() * sizeof(WordCount);
+  }
+
+  job.finish();
+  if (runtime != nullptr) runtime->release_job(job.id());
+  result.run.stats = job.stats();
+  result.run.total = job.stats().total();
+  result.run.iterations.push_back(result.run.total);
+  result.run.checksum =
+      static_cast<double>(result.total_words) + static_cast<double>(result.distinct_words);
+  co_return result;
+}
+
+}  // namespace gflink::workloads::wordcount

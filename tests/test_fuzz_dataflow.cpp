@@ -1,0 +1,179 @@
+// Randomized end-to-end check of the dataflow engine: build a random chain
+// of map/filter/flatMap operators ending in a keyed reduction, run it on a
+// random cluster configuration, and compare the collected result against a
+// straightforward single-threaded reference evaluation of the same chain.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dataflow/dataset.hpp"
+#include "dataflow/engine.hpp"
+#include "sim/random.hpp"
+
+namespace sim = gflink::sim;
+namespace mem = gflink::mem;
+namespace df = gflink::dataflow;
+using df::DataSet;
+using df::Engine;
+using df::Job;
+using df::OpCost;
+using sim::Co;
+
+namespace {
+
+struct KV {
+  std::uint64_t key;
+  std::int64_t value;
+};
+
+const mem::StructDesc& kv_desc() {
+  static const mem::StructDesc d = mem::StructDescBuilder("KV", 8)
+                                       .field("key", mem::FieldType::U64, 1, offsetof(KV, key))
+                                       .field("value", mem::FieldType::I64, 1, offsetof(KV, value))
+                                       .build();
+  return d;
+}
+
+// The random chain is described by a small op program so the engine build
+// and the reference evaluation interpret exactly the same spec.
+struct OpSpec {
+  enum class Kind { MapAffine, FilterMod, FlatMapDup } kind;
+  std::int64_t a = 1;  // parameters, meaning depends on kind
+  std::int64_t b = 0;
+};
+
+std::vector<OpSpec> random_chain(sim::Rng& rng) {
+  std::vector<OpSpec> ops;
+  const int n = 1 + static_cast<int>(rng.next_below(5));
+  for (int i = 0; i < n; ++i) {
+    OpSpec op;
+    switch (rng.next_below(3)) {
+      case 0:
+        op.kind = OpSpec::Kind::MapAffine;  // value = a*value + b
+        op.a = 1 + static_cast<std::int64_t>(rng.next_below(4));
+        op.b = static_cast<std::int64_t>(rng.next_below(100)) - 50;
+        break;
+      case 1:
+        op.kind = OpSpec::Kind::FilterMod;  // keep if value % a != b
+        op.a = 2 + static_cast<std::int64_t>(rng.next_below(5));
+        op.b = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(2)));
+        break;
+      default:
+        op.kind = OpSpec::Kind::FlatMapDup;  // emit record a times (1..3)
+        op.a = 1 + static_cast<std::int64_t>(rng.next_below(3));
+        break;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::int64_t safe_mod(std::int64_t v, std::int64_t m) {
+  return ((v % m) + m) % m;
+}
+
+/// Reference evaluation: the same chain + keyed sum, single threaded.
+std::map<std::uint64_t, std::int64_t> reference(const std::vector<KV>& input,
+                                                const std::vector<OpSpec>& ops,
+                                                std::uint64_t key_mod) {
+  std::vector<KV> cur = input;
+  for (const auto& op : ops) {
+    std::vector<KV> next;
+    for (const auto& kv : cur) {
+      switch (op.kind) {
+        case OpSpec::Kind::MapAffine:
+          next.push_back(KV{kv.key, op.a * kv.value + op.b});
+          break;
+        case OpSpec::Kind::FilterMod:
+          if (safe_mod(kv.value, op.a) != op.b) next.push_back(kv);
+          break;
+        case OpSpec::Kind::FlatMapDup:
+          for (std::int64_t d = 0; d < op.a; ++d) next.push_back(kv);
+          break;
+      }
+    }
+    cur = std::move(next);
+  }
+  std::map<std::uint64_t, std::int64_t> sums;
+  for (const auto& kv : cur) sums[kv.key % key_mod] += kv.value;
+  return sums;
+}
+
+/// Engine evaluation of the same spec.
+std::map<std::uint64_t, std::int64_t> run_engine(const std::vector<KV>& input,
+                                                 const std::vector<OpSpec>& ops,
+                                                 std::uint64_t key_mod, int workers,
+                                                 int partitions) {
+  df::EngineConfig cfg;
+  cfg.cluster.num_workers = workers;
+  cfg.dfs.replication = std::min(2, workers);
+  cfg.job_submit_overhead = 0;
+  cfg.job_schedule_overhead = 0;
+  Engine e(cfg);
+  std::map<std::uint64_t, std::int64_t> sums;
+  e.run([&](Engine& eng) -> Co<void> {
+    Job job(eng, "fuzz");
+    co_await job.submit();
+    DataSet<KV> ds = DataSet<KV>::from_generator(
+        eng, &kv_desc(), partitions, [&input, partitions](int part, std::vector<KV>& out) {
+          for (std::size_t i = static_cast<std::size_t>(part); i < input.size();
+               i += static_cast<std::size_t>(partitions)) {
+            out.push_back(input[i]);
+          }
+        });
+    for (const auto& op : ops) {
+      switch (op.kind) {
+        case OpSpec::Kind::MapAffine:
+          ds = ds.map<KV>(&kv_desc(), "affine", OpCost{2.0, 16.0},
+                          [a = op.a, b = op.b](const KV& kv) {
+                            return KV{kv.key, a * kv.value + b};
+                          });
+          break;
+        case OpSpec::Kind::FilterMod:
+          ds = ds.filter("mod", OpCost{2.0, 16.0}, [a = op.a, b = op.b](const KV& kv) {
+            return safe_mod(kv.value, a) != b;
+          });
+          break;
+        case OpSpec::Kind::FlatMapDup:
+          ds = ds.flat_map<KV>(&kv_desc(), "dup", OpCost{2.0, 16.0},
+                               [a = op.a](const KV& kv, df::FlatCollector<KV>& out) {
+                                 for (std::int64_t d = 0; d < a; ++d) out.add(kv);
+                               });
+          break;
+      }
+    }
+    auto reduced = ds.reduce_by_key("sum", OpCost{2.0, 16.0},
+                                    [key_mod](const KV& kv) { return kv.key % key_mod; },
+                                    [](KV& acc, const KV& kv) { acc.value += kv.value; });
+    auto rows = co_await reduced.collect(job);
+    job.finish();
+    for (const auto& kv : rows) sums[kv.key % key_mod] += kv.value;
+  });
+  return sums;
+}
+
+}  // namespace
+
+class PlanFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanFuzz, RandomChainsMatchReference) {
+  sim::Rng rng(9000 + static_cast<std::uint64_t>(GetParam()));
+  const std::uint64_t key_mod = 1 + rng.next_below(16);
+  const std::size_t n = 100 + rng.next_below(2000);
+  std::vector<KV> input;
+  input.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    input.push_back(KV{rng.next_below(1000),
+                       static_cast<std::int64_t>(rng.next_below(1000)) - 500});
+  }
+  const auto ops = random_chain(rng);
+  const int workers = 1 + static_cast<int>(rng.next_below(5));
+  const int partitions = 1 + static_cast<int>(rng.next_below(12));
+
+  const auto expected = reference(input, ops, key_mod);
+  const auto actual = run_engine(input, ops, key_mod, workers, partitions);
+  EXPECT_EQ(actual, expected) << "seed " << GetParam() << ", ops " << ops.size() << ", workers "
+                              << workers << ", partitions " << partitions;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzz, ::testing::Range(0, 20));

@@ -1,0 +1,356 @@
+// Tests for the benchmark workloads: CPU-vs-GPU result equivalence,
+// convergence behaviour, generator determinism, and run accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/concomp.hpp"
+#include "workloads/kmeans.hpp"
+#include "workloads/linreg.hpp"
+#include "workloads/pagerank.hpp"
+#include "workloads/pointadd.hpp"
+#include "workloads/spmv.hpp"
+#include "workloads/wordcount.hpp"
+
+namespace sim = gflink::sim;
+namespace df = gflink::dataflow;
+namespace core = gflink::core;
+namespace wl = gflink::workloads;
+using sim::Co;
+using wl::Mode;
+using wl::Testbed;
+
+namespace {
+
+Testbed small_testbed() {
+  Testbed tb;
+  tb.workers = 3;
+  tb.gpus_per_worker = 2;
+  tb.scale = 1e-3;
+  return tb;
+}
+
+/// Run a workload driver in a freshly built engine (+ runtime in GPU mode).
+template <typename ConfigT, typename ResultT>
+ResultT run_workload(sim::Co<ResultT> (*driver)(df::Engine&, core::GFlinkRuntime*,
+                                                const Testbed&, Mode, const ConfigT&),
+                     const Testbed& tb, Mode mode, const ConfigT& config) {
+  df::Engine engine(wl::make_engine_config(tb));
+  std::unique_ptr<core::GFlinkRuntime> runtime;
+  if (mode == Mode::Gpu) {
+    wl::ensure_kernels_registered();
+    runtime = std::make_unique<core::GFlinkRuntime>(engine, wl::make_gpu_config(tb));
+  }
+  ResultT result{};
+  engine.run([&](df::Engine& eng) -> Co<void> {
+    result = co_await driver(eng, runtime.get(), tb, mode, config);
+  });
+  return result;
+}
+
+}  // namespace
+
+// ---- KMeans -----------------------------------------------------------------
+
+TEST(KMeans, CpuAndGpuCentersAgree) {
+  auto tb = small_testbed();
+  wl::kmeans::Config cfg;
+  cfg.points = 4'000'000;  // 4000 scaled
+  cfg.iterations = 3;
+  cfg.write_output = false;
+  auto cpu = run_workload(&wl::kmeans::run, tb, Mode::Cpu, cfg);
+  auto gpu = run_workload(&wl::kmeans::run, tb, Mode::Gpu, cfg);
+  ASSERT_EQ(cpu.centers.size(), gpu.centers.size());
+  for (std::size_t c = 0; c < cpu.centers.size(); ++c) {
+    for (int j = 0; j < wl::kDim; ++j) {
+      EXPECT_NEAR(cpu.centers[c].x[j], gpu.centers[c].x[j], 1e-2)
+          << "center " << c << " dim " << j;
+    }
+  }
+}
+
+TEST(KMeans, CentersConvergeTowardGroundTruth) {
+  auto tb = small_testbed();
+  wl::kmeans::Config cfg;
+  cfg.points = 8'000'000;
+  cfg.iterations = 6;
+  cfg.write_output = false;
+  auto result = run_workload(&wl::kmeans::run, tb, Mode::Cpu, cfg);
+  // Ground-truth centers sit near (20c, 20c+eps, ...) per cluster c; after
+  // convergence every recovered center must be close to one truth cluster.
+  for (const auto& center : result.centers) {
+    double best = 1e30;
+    for (int truth = 0; truth < wl::kClusters; ++truth) {
+      double d = 0;
+      for (int j = 0; j < wl::kDim; ++j) {
+        const double e = center.x[j] - (truth * 20 + (j % 3));
+        d += e * e;
+      }
+      best = std::min(best, d);
+    }
+    EXPECT_LT(std::sqrt(best), 2.0);
+  }
+}
+
+TEST(KMeans, IterationTimesShapeFirstHighMiddleLow) {
+  auto tb = small_testbed();
+  wl::kmeans::Config cfg;
+  cfg.points = 20'000'000;
+  cfg.iterations = 5;
+  cfg.write_output = true;
+  auto result = run_workload(&wl::kmeans::run, tb, Mode::Gpu, cfg);
+  ASSERT_EQ(result.run.iterations.size(), 5u);
+  // First iteration reads the input: clearly slower than the second.
+  EXPECT_GT(result.run.iterations[0], 2 * result.run.iterations[1]);
+  // Last iteration writes the clustered output: slower than the middle.
+  EXPECT_GT(result.run.iterations[4], result.run.iterations[2]);
+}
+
+TEST(KMeans, GpuCacheHitsAfterFirstIteration) {
+  auto tb = small_testbed();
+  df::Engine engine(wl::make_engine_config(tb));
+  wl::ensure_kernels_registered();
+  core::GFlinkRuntime runtime(engine, wl::make_gpu_config(tb));
+  wl::kmeans::Config cfg;
+  cfg.points = 4'000'000;
+  cfg.iterations = 3;
+  cfg.write_output = false;
+  engine.run([&](df::Engine& eng) -> Co<void> {
+    (void)co_await wl::kmeans::run(eng, &runtime, tb, Mode::Gpu, cfg);
+  });
+  EXPECT_GT(runtime.total_cache_hits(), 0u);
+}
+
+// ---- LinearRegression ---------------------------------------------------------
+
+TEST(LinReg, CpuAndGpuWeightsAgree) {
+  auto tb = small_testbed();
+  wl::linreg::Config cfg;
+  cfg.samples = 4'000'000;
+  cfg.iterations = 3;
+  cfg.write_output = false;
+  auto cpu = run_workload(&wl::linreg::run, tb, Mode::Cpu, cfg);
+  auto gpu = run_workload(&wl::linreg::run, tb, Mode::Gpu, cfg);
+  ASSERT_EQ(cpu.weights.size(), gpu.weights.size());
+  for (std::size_t j = 0; j < cpu.weights.size(); ++j) {
+    EXPECT_NEAR(cpu.weights[j], gpu.weights[j], 1e-9) << "weight " << j;
+  }
+}
+
+TEST(LinReg, LossDecreasesOverIterations) {
+  auto tb = small_testbed();
+  wl::linreg::Config cfg;
+  cfg.samples = 4'000'000;
+  cfg.write_output = false;
+  cfg.learning_rate = 0.05;
+  // Proxy for loss: distance of learned weights from the generator's
+  // ground truth (w_j = (j+1)*0.25, bias 3.0) shrinks with more epochs.
+  auto distance = [&](int iters) {
+    cfg.iterations = iters;
+    auto r = run_workload(&wl::linreg::run, tb, Mode::Cpu, cfg);
+    double d = 0;
+    for (int j = 0; j < wl::kDim; ++j) {
+      const double e = r.weights[static_cast<std::size_t>(j)] - (j + 1) * 0.25;
+      d += e * e;
+    }
+    d += (r.weights[wl::kDim] - 3.0) * (r.weights[wl::kDim] - 3.0);
+    return std::sqrt(d);
+  };
+  EXPECT_LT(distance(8), distance(2));
+}
+
+// ---- SpMV ---------------------------------------------------------------------
+
+TEST(Spmv, CpuAndGpuChecksumsAgree) {
+  auto tb = small_testbed();
+  wl::spmv::Config cfg;
+  cfg.matrix_bytes = 64ULL << 20;  // 64 KB scaled
+  cfg.iterations = 3;
+  cfg.write_output = false;
+  auto cpu = run_workload(&wl::spmv::run, tb, Mode::Cpu, cfg);
+  auto gpu = run_workload(&wl::spmv::run, tb, Mode::Gpu, cfg);
+  EXPECT_EQ(cpu.rows, gpu.rows);
+  EXPECT_NEAR(cpu.run.checksum, gpu.run.checksum, 1e-3);
+}
+
+TEST(Spmv, MatrixCachedAfterFirstIteration) {
+  // The paper's Fig. 7b setup: a single machine (colocated master) with a
+  // matrix far larger than the vector.
+  auto tb = small_testbed();
+  tb.workers = 1;
+  df::Engine engine(wl::make_engine_config(tb));
+  wl::ensure_kernels_registered();
+  core::GFlinkRuntime runtime(engine, wl::make_gpu_config(tb));
+  wl::spmv::Config cfg;
+  cfg.matrix_bytes = 1ULL << 30;  // the paper's 1.0 GB matrix
+  cfg.iterations = 4;
+  cfg.write_output = false;
+  std::vector<sim::Duration> iters;
+  engine.run([&](df::Engine& eng) -> Co<void> {
+    auto r = co_await wl::spmv::run(eng, &runtime, tb, Mode::Gpu, cfg);
+    iters = r.run.iterations;
+  });
+  ASSERT_EQ(iters.size(), 4u);
+  // Iterations after the first run much faster (matrix cached, no DFS).
+  EXPECT_GT(iters[0], 3 * iters[1]);
+  EXPECT_GT(runtime.total_cache_hits(), 0u);
+}
+
+// ---- PageRank -------------------------------------------------------------------
+
+TEST(PageRank, CpuAndGpuRanksAgree) {
+  auto tb = small_testbed();
+  wl::pagerank::Config cfg;
+  cfg.pages = 2'000'000;
+  cfg.iterations = 3;
+  cfg.write_output = false;
+  auto cpu = run_workload(&wl::pagerank::run, tb, Mode::Cpu, cfg);
+  auto gpu = run_workload(&wl::pagerank::run, tb, Mode::Gpu, cfg);
+  ASSERT_EQ(cpu.ranks.size(), gpu.ranks.size());
+  for (std::size_t i = 0; i < cpu.ranks.size(); ++i) {
+    // f32 contributions are summed in different orders by the two paths
+    // (different partition counts): bit-exactness is not expected.
+    EXPECT_NEAR(cpu.ranks[i], gpu.ranks[i], 1e-8);
+  }
+}
+
+TEST(PageRank, RanksFormADistribution) {
+  auto tb = small_testbed();
+  wl::pagerank::Config cfg;
+  cfg.pages = 2'000'000;
+  cfg.iterations = 5;
+  cfg.write_output = false;
+  auto r = run_workload(&wl::pagerank::run, tb, Mode::Cpu, cfg);
+  for (double rank : r.ranks) {
+    EXPECT_GT(rank, 0.0);
+    EXPECT_LT(rank, 1.0);
+  }
+}
+
+TEST(PageRank, ShuffleDominatesNetwork) {
+  auto tb = small_testbed();
+  wl::pagerank::Config cfg;
+  cfg.pages = 2'000'000;
+  cfg.iterations = 3;
+  cfg.write_output = false;
+  auto r = run_workload(&wl::pagerank::run, tb, Mode::Cpu, cfg);
+  EXPECT_GT(r.run.stats.shuffle_bytes, 0u);
+}
+
+// ---- ConnectedComponents ---------------------------------------------------------
+
+TEST(ConComp, LabelsConvergeToComponents) {
+  auto tb = small_testbed();
+  wl::concomp::Config cfg;
+  cfg.vertices = 2'000'000;
+  cfg.components = 16;
+  cfg.iterations = 8;
+  cfg.write_output = false;
+  auto r = run_workload(&wl::concomp::run, tb, Mode::Cpu, cfg);
+  EXPECT_EQ(r.distinct_labels, 16u);
+}
+
+TEST(ConComp, CpuAndGpuAgree) {
+  auto tb = small_testbed();
+  wl::concomp::Config cfg;
+  cfg.vertices = 2'000'000;
+  cfg.components = 8;
+  cfg.iterations = 4;
+  cfg.write_output = false;
+  auto cpu = run_workload(&wl::concomp::run, tb, Mode::Cpu, cfg);
+  auto gpu = run_workload(&wl::concomp::run, tb, Mode::Gpu, cfg);
+  EXPECT_EQ(cpu.distinct_labels, gpu.distinct_labels);
+  EXPECT_EQ(cpu.run.checksum, gpu.run.checksum);
+}
+
+// ---- WordCount --------------------------------------------------------------------
+
+TEST(WordCount, CpuAndGpuCountsAgree) {
+  auto tb = small_testbed();
+  wl::wordcount::Config cfg;
+  cfg.text_bytes = 64ULL << 20;  // 64 KB scaled
+  cfg.write_output = false;
+  auto cpu = run_workload(&wl::wordcount::run, tb, Mode::Cpu, cfg);
+  auto gpu = run_workload(&wl::wordcount::run, tb, Mode::Gpu, cfg);
+  EXPECT_EQ(cpu.total_words, gpu.total_words);
+  EXPECT_EQ(cpu.distinct_words, gpu.distinct_words);
+}
+
+TEST(WordCount, CountsEveryGeneratedWord) {
+  auto tb = small_testbed();
+  wl::wordcount::Config cfg;
+  cfg.text_bytes = 64ULL << 20;
+  cfg.write_output = false;
+  auto r = run_workload(&wl::wordcount::run, tb, Mode::Cpu, cfg);
+  const auto bytes = static_cast<std::uint64_t>(static_cast<double>(cfg.text_bytes) * tb.scale);
+  EXPECT_EQ(r.total_words, static_cast<std::uint64_t>(bytes / cfg.bytes_per_word));
+  EXPECT_GT(r.distinct_words, 100u);
+}
+
+TEST(WordCount, ZipfSkewsCounts) {
+  auto tb = small_testbed();
+  wl::wordcount::Config cfg;
+  cfg.text_bytes = 64ULL << 20;
+  cfg.write_output = false;
+  auto r = run_workload(&wl::wordcount::run, tb, Mode::Cpu, cfg);
+  // With Zipf(1.0), the vocabulary is far from exhausted uniformly.
+  EXPECT_LT(r.distinct_words, cfg.vocabulary);
+}
+
+// ---- PointAdd ---------------------------------------------------------------------
+
+TEST(PointAdd, CpuAndGpuAgree) {
+  auto tb = small_testbed();
+  wl::pointadd::Config cfg;
+  cfg.points = 2'000'000;
+  auto cpu = run_workload(&wl::pointadd::run, tb, Mode::Cpu, cfg);
+  auto gpu = run_workload(&wl::pointadd::run, tb, Mode::Gpu, cfg);
+  EXPECT_EQ(cpu.run.checksum, gpu.run.checksum);
+}
+
+// ---- Cross-cutting ----------------------------------------------------------------
+
+TEST(Workloads, GeneratorsAreDeterministic) {
+  auto a = wl::kmeans::point_at(123456, 42);
+  auto b = wl::kmeans::point_at(123456, 42);
+  for (int j = 0; j < wl::kDim; ++j) EXPECT_EQ(a.x[j], b.x[j]);
+  auto r1 = wl::spmv::row_at(77, 1000, 5);
+  auto r2 = wl::spmv::row_at(77, 1000, 5);
+  EXPECT_EQ(r1.col[13], r2.col[13]);
+  EXPECT_EQ(r1.val[63], r2.val[63]);
+  auto p1 = wl::pagerank::page_at(9, 100, 23);
+  auto p2 = wl::pagerank::page_at(9, 100, 23);
+  EXPECT_EQ(p1.out[7], p2.out[7]);
+}
+
+TEST(Workloads, RunsAreDeterministic) {
+  auto tb = small_testbed();
+  wl::kmeans::Config cfg;
+  cfg.points = 2'000'000;
+  cfg.iterations = 2;
+  cfg.write_output = false;
+  auto a = run_workload(&wl::kmeans::run, tb, Mode::Gpu, cfg);
+  auto b = run_workload(&wl::kmeans::run, tb, Mode::Gpu, cfg);
+  EXPECT_EQ(a.run.total, b.run.total);
+  EXPECT_EQ(a.run.checksum, b.run.checksum);
+}
+
+// Property sweep: GPU speedup over CPU is positive for the compute-bound
+// iterative workloads at every size in a small grid.
+class SpeedupProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpeedupProperty, KmeansGpuBeatsCpu) {
+  auto tb = small_testbed();
+  wl::kmeans::Config cfg;
+  cfg.points = GetParam();
+  cfg.iterations = 4;
+  cfg.write_output = false;
+  auto cpu = run_workload(&wl::kmeans::run, tb, Mode::Cpu, cfg);
+  auto gpu = run_workload(&wl::kmeans::run, tb, Mode::Gpu, cfg);
+  EXPECT_LT(gpu.run.total, cpu.run.total)
+      << "points=" << cfg.points << " cpu=" << sim::format_duration(cpu.run.total)
+      << " gpu=" << sim::format_duration(gpu.run.total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpeedupProperty,
+                         ::testing::Values(10'000'000ULL, 40'000'000ULL, 100'000'000ULL));

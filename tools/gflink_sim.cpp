@@ -1,0 +1,260 @@
+// gflink_sim — command-line driver for the GFlink reproduction.
+//
+// Runs any of the paper's workloads on a configurable simulated testbed
+// and prints the Eq.-(1)-style breakdown. Examples:
+//
+//   gflink_sim kmeans --mode gflink --workers 10 --gpus 2 --size 210
+//   gflink_sim spmv --mode cpu --workers 1 --size 8
+//   gflink_sim pagerank --gpu p100 --iterations 20
+//   gflink_sim wordcount --mode both --size 40
+//
+// Sizes are full-scale units per workload: millions of records (kmeans,
+// linreg, pagerank, concomp, pointadd) or GB (spmv, wordcount).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "workloads/concomp.hpp"
+#include "workloads/kmeans.hpp"
+#include "workloads/linreg.hpp"
+#include "workloads/pagerank.hpp"
+#include "workloads/pointadd.hpp"
+#include "workloads/spmv.hpp"
+#include "workloads/wordcount.hpp"
+
+namespace df = gflink::dataflow;
+namespace core = gflink::core;
+namespace sim = gflink::sim;
+namespace wl = gflink::workloads;
+
+namespace {
+
+struct Options {
+  std::string workload;
+  std::string mode = "both";  // cpu | gflink | both
+  wl::Testbed testbed;
+  double size = 0;  // workload-specific unit; 0 = workload default
+  int iterations = 0;
+  bool cache = true;
+  bool help = false;
+};
+
+void print_usage() {
+  std::printf(
+      "usage: gflink_sim <workload> [options]\n"
+      "\n"
+      "workloads: kmeans linreg spmv pagerank concomp wordcount pointadd\n"
+      "\n"
+      "options:\n"
+      "  --mode cpu|gflink|both   execution mode (default both)\n"
+      "  --workers N              slave nodes (default 10)\n"
+      "  --gpus N                 GPUs per worker (default 2)\n"
+      "  --gpu MODEL              c2050 | gtx750 | k20 | p100 (default c2050)\n"
+      "  --size X                 input size: millions of records, or GB for\n"
+      "                           spmv/wordcount (default: the paper's mid size)\n"
+      "  --iterations N           supersteps for iterative workloads\n"
+      "  --scale X                simulation scale factor (default 1e-3)\n"
+      "  --streams N              CUDA streams per GPU (default 4)\n"
+      "  --scheduling P           locality | roundrobin | random\n"
+      "  --no-cache               disable the GPU cache scheme (spmv)\n");
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.workload = argv[1];
+  if (opt.workload == "--help" || opt.workload == "-h") {
+    opt.help = true;
+    return true;
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      const char* v = value();
+      if (!v) return false;
+      opt.mode = v;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (!v) return false;
+      opt.testbed.workers = std::atoi(v);
+    } else if (arg == "--gpus") {
+      const char* v = value();
+      if (!v) return false;
+      opt.testbed.gpus_per_worker = std::atoi(v);
+    } else if (arg == "--gpu") {
+      const char* v = value();
+      if (!v) return false;
+      const std::string model = v;
+      if (model == "c2050") opt.testbed.gpu_spec = gflink::gpu::DeviceSpec::c2050();
+      else if (model == "gtx750") opt.testbed.gpu_spec = gflink::gpu::DeviceSpec::gtx750();
+      else if (model == "k20") opt.testbed.gpu_spec = gflink::gpu::DeviceSpec::k20();
+      else if (model == "p100") opt.testbed.gpu_spec = gflink::gpu::DeviceSpec::p100();
+      else {
+        std::fprintf(stderr, "unknown GPU model: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--size") {
+      const char* v = value();
+      if (!v) return false;
+      opt.size = std::atof(v);
+    } else if (arg == "--iterations") {
+      const char* v = value();
+      if (!v) return false;
+      opt.iterations = std::atoi(v);
+    } else if (arg == "--scale") {
+      const char* v = value();
+      if (!v) return false;
+      opt.testbed.scale = std::atof(v);
+    } else if (arg == "--streams") {
+      const char* v = value();
+      if (!v) return false;
+      opt.testbed.streams_per_gpu = std::atoi(v);
+    } else if (arg == "--scheduling") {
+      const char* v = value();
+      if (!v) return false;
+      const std::string p = v;
+      if (p == "locality") opt.testbed.scheduling = core::SchedulingPolicy::LocalityAware;
+      else if (p == "roundrobin") opt.testbed.scheduling = core::SchedulingPolicy::RoundRobin;
+      else if (p == "random") opt.testbed.scheduling = core::SchedulingPolicy::Random;
+      else {
+        std::fprintf(stderr, "unknown scheduling policy: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--no-cache") {
+      opt.cache = false;
+    } else if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename ConfigT, typename ResultT>
+wl::RunResult run_driver(sim::Co<ResultT> (*driver)(df::Engine&, core::GFlinkRuntime*,
+                                                    const wl::Testbed&, wl::Mode,
+                                                    const ConfigT&),
+                         const Options& opt, wl::Mode mode, const ConfigT& cfg) {
+  df::Engine engine(wl::make_engine_config(opt.testbed));
+  std::unique_ptr<core::GFlinkRuntime> runtime;
+  if (mode == wl::Mode::Gpu) {
+    wl::ensure_kernels_registered();
+    runtime = std::make_unique<core::GFlinkRuntime>(engine, wl::make_gpu_config(opt.testbed));
+  }
+  ResultT result{};
+  engine.run([&](df::Engine& eng) -> sim::Co<void> {
+    result = co_await driver(eng, runtime.get(), opt.testbed, mode, cfg);
+  });
+  return result.run;
+}
+
+void report(const Options& opt, wl::Mode mode, const wl::RunResult& run) {
+  const double scale = opt.testbed.scale;
+  std::printf("\n[%s]\n", wl::mode_name(mode));
+  std::printf("  total          %10.2f s (full-scale)\n",
+              wl::RunResult::full_seconds(run.total, scale));
+  std::printf("  submission     %10.2f s\n",
+              wl::RunResult::full_seconds(run.stats.running_at - run.stats.submitted_at, scale));
+  if (run.iterations.size() > 1) {
+    std::printf("  iterations    ");
+    for (auto d : run.iterations) {
+      std::printf(" %.2f", wl::RunResult::full_seconds(d, scale));
+    }
+    std::printf("  (s each)\n");
+  }
+  std::printf("  io read        %10.2f GB   io written %10.2f GB\n",
+              static_cast<double>(run.stats.io_bytes_read) / scale / 1e9,
+              static_cast<double>(run.stats.io_bytes_written) / scale / 1e9);
+  std::printf("  shuffled       %10.2f GB over %zu stages\n",
+              static_cast<double>(run.stats.shuffle_bytes) / scale / 1e9,
+              run.stats.stages.size());
+  std::printf("  checksum       %10.4g\n", run.checksum);
+}
+
+int run_workload(const Options& opt) {
+  std::vector<wl::Mode> to_run;
+  if (opt.mode == "cpu") to_run = {wl::Mode::Cpu};
+  else if (opt.mode == "gflink") to_run = {wl::Mode::Gpu};
+  else if (opt.mode == "both") to_run = {wl::Mode::Cpu, wl::Mode::Gpu};
+  else {
+    std::fprintf(stderr, "unknown mode: %s\n", opt.mode.c_str());
+    return 2;
+  }
+  std::vector<double> totals;
+  for (wl::Mode mode : to_run) {
+    wl::RunResult run;
+    if (opt.workload == "kmeans") {
+      wl::kmeans::Config cfg;
+      if (opt.size > 0) cfg.points = static_cast<std::uint64_t>(opt.size * 1e6);
+      if (opt.iterations > 0) cfg.iterations = opt.iterations;
+      run = run_driver(&wl::kmeans::run, opt, mode, cfg);
+    } else if (opt.workload == "linreg") {
+      wl::linreg::Config cfg;
+      if (opt.size > 0) cfg.samples = static_cast<std::uint64_t>(opt.size * 1e6);
+      if (opt.iterations > 0) cfg.iterations = opt.iterations;
+      run = run_driver(&wl::linreg::run, opt, mode, cfg);
+    } else if (opt.workload == "spmv") {
+      wl::spmv::Config cfg;
+      if (opt.size > 0) cfg.matrix_bytes = static_cast<std::uint64_t>(opt.size * (1ULL << 30));
+      if (opt.iterations > 0) cfg.iterations = opt.iterations;
+      cfg.gpu_cache = opt.cache;
+      run = run_driver(&wl::spmv::run, opt, mode, cfg);
+    } else if (opt.workload == "pagerank") {
+      wl::pagerank::Config cfg;
+      if (opt.size > 0) cfg.pages = static_cast<std::uint64_t>(opt.size * 1e6);
+      if (opt.iterations > 0) cfg.iterations = opt.iterations;
+      run = run_driver(&wl::pagerank::run, opt, mode, cfg);
+    } else if (opt.workload == "concomp") {
+      wl::concomp::Config cfg;
+      if (opt.size > 0) cfg.vertices = static_cast<std::uint64_t>(opt.size * 1e6);
+      if (opt.iterations > 0) cfg.iterations = opt.iterations;
+      run = run_driver(&wl::concomp::run, opt, mode, cfg);
+    } else if (opt.workload == "wordcount") {
+      wl::wordcount::Config cfg;
+      if (opt.size > 0) cfg.text_bytes = static_cast<std::uint64_t>(opt.size * (1ULL << 30));
+      run = run_driver(&wl::wordcount::run, opt, mode, cfg);
+    } else if (opt.workload == "pointadd") {
+      wl::pointadd::Config cfg;
+      if (opt.size > 0) cfg.points = static_cast<std::uint64_t>(opt.size * 1e6);
+      if (opt.iterations > 0) cfg.iterations = opt.iterations;
+      run = run_driver(&wl::pointadd::run, opt, mode, cfg);
+    } else {
+      std::fprintf(stderr, "unknown workload: %s\n\n", opt.workload.c_str());
+      print_usage();
+      return 2;
+    }
+    report(opt, mode, run);
+    totals.push_back(wl::RunResult::full_seconds(run.total, opt.testbed.scale));
+  }
+  if (totals.size() == 2 && totals[1] > 0) {
+    std::printf("\nspeedup (GFlink over Flink): %.2fx\n", totals[0] / totals[1]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    print_usage();
+    return 2;
+  }
+  if (opt.help) {
+    print_usage();
+    return 0;
+  }
+  std::printf("gflink_sim: %s on %d workers x %d %s, scale %.0e", opt.workload.c_str(),
+              opt.testbed.workers, opt.testbed.gpus_per_worker, opt.testbed.gpu_spec.name.c_str(),
+              opt.testbed.scale);
+  std::printf("\n");
+  return run_workload(opt);
+}
