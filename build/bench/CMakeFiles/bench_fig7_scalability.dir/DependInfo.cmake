@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_scalability.cpp" "bench/CMakeFiles/bench_fig7_scalability.dir/bench_fig7_scalability.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_scalability.dir/bench_fig7_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gflink_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gflink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gflink_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/gflink_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gflink_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gflink_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gflink_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gflink_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_concurrent.dir/bench_fig8_concurrent.cpp.o"
+  "CMakeFiles/bench_fig8_concurrent.dir/bench_fig8_concurrent.cpp.o.d"
+  "bench_fig8_concurrent"
+  "bench_fig8_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

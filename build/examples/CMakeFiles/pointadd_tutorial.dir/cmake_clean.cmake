@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointadd_tutorial.dir/pointadd_tutorial.cpp.o"
+  "CMakeFiles/pointadd_tutorial.dir/pointadd_tutorial.cpp.o.d"
+  "pointadd_tutorial"
+  "pointadd_tutorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointadd_tutorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pointadd_tutorial.
+# This may be replaced when dependencies are built.

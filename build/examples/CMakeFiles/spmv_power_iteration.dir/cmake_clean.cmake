@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_power_iteration.dir/spmv_power_iteration.cpp.o"
+  "CMakeFiles/spmv_power_iteration.dir/spmv_power_iteration.cpp.o.d"
+  "spmv_power_iteration"
+  "spmv_power_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_power_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gflink_core.dir/gdst.cpp.o"
+  "CMakeFiles/gflink_core.dir/gdst.cpp.o.d"
+  "CMakeFiles/gflink_core.dir/gmemory_manager.cpp.o"
+  "CMakeFiles/gflink_core.dir/gmemory_manager.cpp.o.d"
+  "CMakeFiles/gflink_core.dir/gpu_manager.cpp.o"
+  "CMakeFiles/gflink_core.dir/gpu_manager.cpp.o.d"
+  "CMakeFiles/gflink_core.dir/gstream_manager.cpp.o"
+  "CMakeFiles/gflink_core.dir/gstream_manager.cpp.o.d"
+  "CMakeFiles/gflink_core.dir/streaming.cpp.o"
+  "CMakeFiles/gflink_core.dir/streaming.cpp.o.d"
+  "libgflink_core.a"
+  "libgflink_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gflink_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gflink_dataflow.dir/engine.cpp.o"
+  "CMakeFiles/gflink_dataflow.dir/engine.cpp.o.d"
+  "libgflink_dataflow.a"
+  "libgflink_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gflink_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gflink_dfs.dir/gdfs.cpp.o"
+  "CMakeFiles/gflink_dfs.dir/gdfs.cpp.o.d"
+  "libgflink_dfs.a"
+  "libgflink_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gflink_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

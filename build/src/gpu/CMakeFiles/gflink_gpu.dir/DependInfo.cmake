@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/device.cpp" "src/gpu/CMakeFiles/gflink_gpu.dir/device.cpp.o" "gcc" "src/gpu/CMakeFiles/gflink_gpu.dir/device.cpp.o.d"
+  "/root/repo/src/gpu/device_memory.cpp" "src/gpu/CMakeFiles/gflink_gpu.dir/device_memory.cpp.o" "gcc" "src/gpu/CMakeFiles/gflink_gpu.dir/device_memory.cpp.o.d"
+  "/root/repo/src/gpu/device_spec.cpp" "src/gpu/CMakeFiles/gflink_gpu.dir/device_spec.cpp.o" "gcc" "src/gpu/CMakeFiles/gflink_gpu.dir/device_spec.cpp.o.d"
+  "/root/repo/src/gpu/kernel.cpp" "src/gpu/CMakeFiles/gflink_gpu.dir/kernel.cpp.o" "gcc" "src/gpu/CMakeFiles/gflink_gpu.dir/kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/gflink_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gflink_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gflink_gpu.dir/device.cpp.o"
+  "CMakeFiles/gflink_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/gflink_gpu.dir/device_memory.cpp.o"
+  "CMakeFiles/gflink_gpu.dir/device_memory.cpp.o.d"
+  "CMakeFiles/gflink_gpu.dir/device_spec.cpp.o"
+  "CMakeFiles/gflink_gpu.dir/device_spec.cpp.o.d"
+  "CMakeFiles/gflink_gpu.dir/kernel.cpp.o"
+  "CMakeFiles/gflink_gpu.dir/kernel.cpp.o.d"
+  "libgflink_gpu.a"
+  "libgflink_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gflink_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

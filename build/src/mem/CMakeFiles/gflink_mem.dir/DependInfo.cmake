@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/gstruct.cpp" "src/mem/CMakeFiles/gflink_mem.dir/gstruct.cpp.o" "gcc" "src/mem/CMakeFiles/gflink_mem.dir/gstruct.cpp.o.d"
+  "/root/repo/src/mem/record_batch.cpp" "src/mem/CMakeFiles/gflink_mem.dir/record_batch.cpp.o" "gcc" "src/mem/CMakeFiles/gflink_mem.dir/record_batch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gflink_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gflink_mem.dir/gstruct.cpp.o"
+  "CMakeFiles/gflink_mem.dir/gstruct.cpp.o.d"
+  "CMakeFiles/gflink_mem.dir/record_batch.cpp.o"
+  "CMakeFiles/gflink_mem.dir/record_batch.cpp.o.d"
+  "libgflink_mem.a"
+  "libgflink_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gflink_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gflink_net.dir/cluster.cpp.o"
+  "CMakeFiles/gflink_net.dir/cluster.cpp.o.d"
+  "libgflink_net.a"
+  "libgflink_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gflink_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

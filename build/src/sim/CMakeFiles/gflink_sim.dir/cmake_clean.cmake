@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gflink_sim.dir/simulation.cpp.o"
+  "CMakeFiles/gflink_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/gflink_sim.dir/stats.cpp.o"
+  "CMakeFiles/gflink_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/gflink_sim.dir/time.cpp.o"
+  "CMakeFiles/gflink_sim.dir/time.cpp.o.d"
+  "CMakeFiles/gflink_sim.dir/trace.cpp.o"
+  "CMakeFiles/gflink_sim.dir/trace.cpp.o.d"
+  "libgflink_sim.a"
+  "libgflink_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gflink_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgflink_sim.a"
+)

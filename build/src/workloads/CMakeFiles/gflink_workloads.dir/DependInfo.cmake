@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/common.cpp" "src/workloads/CMakeFiles/gflink_workloads.dir/common.cpp.o" "gcc" "src/workloads/CMakeFiles/gflink_workloads.dir/common.cpp.o.d"
+  "/root/repo/src/workloads/concomp.cpp" "src/workloads/CMakeFiles/gflink_workloads.dir/concomp.cpp.o" "gcc" "src/workloads/CMakeFiles/gflink_workloads.dir/concomp.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/workloads/CMakeFiles/gflink_workloads.dir/kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/gflink_workloads.dir/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/linreg.cpp" "src/workloads/CMakeFiles/gflink_workloads.dir/linreg.cpp.o" "gcc" "src/workloads/CMakeFiles/gflink_workloads.dir/linreg.cpp.o.d"
+  "/root/repo/src/workloads/pagerank.cpp" "src/workloads/CMakeFiles/gflink_workloads.dir/pagerank.cpp.o" "gcc" "src/workloads/CMakeFiles/gflink_workloads.dir/pagerank.cpp.o.d"
+  "/root/repo/src/workloads/pointadd.cpp" "src/workloads/CMakeFiles/gflink_workloads.dir/pointadd.cpp.o" "gcc" "src/workloads/CMakeFiles/gflink_workloads.dir/pointadd.cpp.o.d"
+  "/root/repo/src/workloads/records.cpp" "src/workloads/CMakeFiles/gflink_workloads.dir/records.cpp.o" "gcc" "src/workloads/CMakeFiles/gflink_workloads.dir/records.cpp.o.d"
+  "/root/repo/src/workloads/spmv.cpp" "src/workloads/CMakeFiles/gflink_workloads.dir/spmv.cpp.o" "gcc" "src/workloads/CMakeFiles/gflink_workloads.dir/spmv.cpp.o.d"
+  "/root/repo/src/workloads/wordcount.cpp" "src/workloads/CMakeFiles/gflink_workloads.dir/wordcount.cpp.o" "gcc" "src/workloads/CMakeFiles/gflink_workloads.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gflink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gflink_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gflink_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gflink_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gflink_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/gflink_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gflink_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gflink_workloads.dir/common.cpp.o"
+  "CMakeFiles/gflink_workloads.dir/common.cpp.o.d"
+  "CMakeFiles/gflink_workloads.dir/concomp.cpp.o"
+  "CMakeFiles/gflink_workloads.dir/concomp.cpp.o.d"
+  "CMakeFiles/gflink_workloads.dir/kmeans.cpp.o"
+  "CMakeFiles/gflink_workloads.dir/kmeans.cpp.o.d"
+  "CMakeFiles/gflink_workloads.dir/linreg.cpp.o"
+  "CMakeFiles/gflink_workloads.dir/linreg.cpp.o.d"
+  "CMakeFiles/gflink_workloads.dir/pagerank.cpp.o"
+  "CMakeFiles/gflink_workloads.dir/pagerank.cpp.o.d"
+  "CMakeFiles/gflink_workloads.dir/pointadd.cpp.o"
+  "CMakeFiles/gflink_workloads.dir/pointadd.cpp.o.d"
+  "CMakeFiles/gflink_workloads.dir/records.cpp.o"
+  "CMakeFiles/gflink_workloads.dir/records.cpp.o.d"
+  "CMakeFiles/gflink_workloads.dir/spmv.cpp.o"
+  "CMakeFiles/gflink_workloads.dir/spmv.cpp.o.d"
+  "CMakeFiles/gflink_workloads.dir/wordcount.cpp.o"
+  "CMakeFiles/gflink_workloads.dir/wordcount.cpp.o.d"
+  "libgflink_workloads.a"
+  "libgflink_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gflink_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

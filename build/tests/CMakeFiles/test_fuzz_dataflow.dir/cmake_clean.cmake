@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_dataflow.dir/test_fuzz_dataflow.cpp.o"
+  "CMakeFiles/test_fuzz_dataflow.dir/test_fuzz_dataflow.cpp.o.d"
+  "test_fuzz_dataflow"
+  "test_fuzz_dataflow.pdb"
+  "test_fuzz_dataflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gflink.dir/gflink_sim.cpp.o"
+  "CMakeFiles/gflink.dir/gflink_sim.cpp.o.d"
+  "gflink"
+  "gflink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gflink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
