@@ -14,6 +14,8 @@
 //   off-heap+pinned > off-heap pageable > heap staging >> RPC.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "gpu/api.hpp"
 #include "sim/simulation.hpp"
 
@@ -87,4 +89,4 @@ BENCHMARK(Ablation_Communication)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(ablation_comm);

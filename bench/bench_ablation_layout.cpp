@@ -10,6 +10,8 @@
 //     host holds AoS pages).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <chrono>
 
 #include "gpu/device_spec.hpp"
@@ -70,4 +72,4 @@ BENCHMARK(Ablation_LayoutTransformCost)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(ablation_layout);

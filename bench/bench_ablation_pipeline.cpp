@@ -12,6 +12,8 @@
 // copy engine saturates).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "core/gmemory_manager.hpp"
 #include "core/gstream_manager.hpp"
 #include "gpu/api.hpp"
@@ -106,4 +108,4 @@ BENCHMARK(Ablation_Pipeline)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(ablation_pipeline);

@@ -86,4 +86,4 @@ BENCHMARK(Ablation_Scheduling)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(ablation_scheduling);

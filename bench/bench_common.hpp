@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_report.hpp"
 #include "core/gdst.hpp"
 #include "workloads/common.hpp"
 
@@ -40,6 +41,13 @@ ResultT run_workload(sim::Co<ResultT> (*driver)(df::Engine&, core::GFlinkRuntime
   engine.run([&](df::Engine& eng) -> sim::Co<void> {
     result = co_await driver(eng, runtime.get(), tb, mode, config);
   });
+  // Feed the binary-wide run report before the engine (and its registry)
+  // is torn down. Counters add across cases; gauges keep the last case.
+  obs::RunReport& rep = bench_report();
+  rep.virtual_ns += engine.now();
+  engine.export_metrics(rep.metrics);
+  if (runtime) runtime->export_metrics(rep.metrics);
+  rep.metrics.inc("bench_cases_total");
   return result;
 }
 

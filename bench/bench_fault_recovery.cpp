@@ -56,4 +56,4 @@ BENCHMARK(Fault_RecoveryOverhead)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(fault_recovery);

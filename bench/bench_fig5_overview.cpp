@@ -60,4 +60,4 @@ BENCHMARK(Fig5c_WordCount)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(fig5_overview);

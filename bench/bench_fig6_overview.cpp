@@ -60,4 +60,4 @@ BENCHMARK(Fig6c_ConnectedComponents)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(fig6_overview);

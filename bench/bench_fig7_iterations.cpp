@@ -78,4 +78,4 @@ BENCHMARK(Fig7b_SpmvIterations)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(fig7_iterations);

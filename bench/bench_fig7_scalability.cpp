@@ -47,4 +47,4 @@ BENCHMARK(Fig7d_SpmvScalability)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(fig7_scalability);

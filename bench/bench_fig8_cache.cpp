@@ -37,4 +37,4 @@ BENCHMARK(Fig8a_CacheScheme)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(fig8_cache);

@@ -135,4 +135,4 @@ BENCHMARK(Fig8d_ConcurrentCluster)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(fig8_concurrent);

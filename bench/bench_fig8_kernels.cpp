@@ -181,4 +181,4 @@ BENCHMARK(Fig8b_OperatorSpeedup)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(fig8_kernels);

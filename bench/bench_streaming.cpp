@@ -103,4 +103,4 @@ BENCHMARK(Streaming_GpuMicroBatch)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(streaming);

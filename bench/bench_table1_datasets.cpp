@@ -4,6 +4,8 @@
 // scale (the numbers every other bench consumes).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <cstdio>
 
 #include "workloads/common.hpp"
@@ -67,4 +69,4 @@ BENCHMARK(Table1_GeneratorCounts)->UseManualTime()->Unit(benchmark::kNanosecond)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(table1_datasets);

@@ -8,6 +8,8 @@
 // fixed per-call cost), and both saturating by 256 KiB.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <cstdio>
 
 #include "gpu/api.hpp"
@@ -86,4 +88,4 @@ BENCHMARK(Table2_TransferChannel)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GFLINK_BENCH_MAIN(table2_bandwidth);

@@ -35,6 +35,7 @@ std::optional<GMemoryManager::CacheEntry> GMemoryManager::lookup_pinned(int devi
   if (it == r->table.end()) return std::nullopt;
   ++hits_;
   ++it->second.pins;
+  ++pins_;
   return it->second.entry;
 }
 
@@ -86,6 +87,7 @@ std::optional<GMemoryManager::CacheEntry> GMemoryManager::insert(int device, std
   Slot slot;
   slot.entry = CacheEntry{ptr, bytes};
   slot.pins = 1;  // returned pinned for the inserting GWork
+  ++pins_;
   r.table.emplace(key, slot);
   r.fifo.push_back(key);
   r.used += bytes;

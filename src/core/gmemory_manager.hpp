@@ -82,7 +82,16 @@ class GMemoryManager {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t pins() const { return pins_; }
   std::uint64_t cached_bytes(int device, std::uint64_t job) const;
+  /// Bytes currently occupied by cache regions on `device`, across jobs.
+  std::uint64_t region_used(int device) const {
+    std::uint64_t used = 0;
+    for (const auto& [job, region] : regions_.at(static_cast<std::size_t>(device))) {
+      used += region.used;
+    }
+    return used;
+  }
 
  private:
   struct Slot {
@@ -108,6 +117,7 @@ class GMemoryManager {
   mutable std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t pins_ = 0;
 };
 
 }  // namespace gflink::core

@@ -3,7 +3,7 @@
 namespace gflink::core {
 
 GpuManager::GpuManager(sim::Simulation& sim, int node_id, const GpuManagerConfig& config,
-                       sim::Tracer* tracer)
+                       sim::Tracer* tracer, obs::MetricsRegistry* registry)
     : node_id_(node_id) {
   GFLINK_CHECK_MSG(!config.devices.empty(), "worker needs at least one GPU");
   std::vector<gpu::GpuDevice*> raw_devices;
@@ -20,13 +20,34 @@ GpuManager::GpuManager(sim::Simulation& sim, int node_id, const GpuManagerConfig
   memory_ = std::make_unique<GMemoryManager>(std::move(raw_devices), config.cache_region_bytes,
                                              config.cache_policy);
   streams_ = std::make_unique<GStreamManager>(sim, std::move(raw_wrappers), *memory_,
-                                              config.streams);
+                                              config.streams, registry);
+}
+
+void GpuManager::export_metrics(obs::MetricsRegistry& out) const {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const gpu::GpuDevice& dev = *devices_[i];
+    const obs::Labels l{{"gpu", dev.id()}};
+    out.counter("gpu_kernels_total", l).inc(static_cast<double>(dev.kernels_launched()));
+    out.counter("gpu_kernel_busy_ns_total", l).inc(static_cast<double>(dev.kernel_busy()));
+    out.counter("gpu_h2d_busy_ns_total", l).inc(static_cast<double>(dev.h2d_busy()));
+    out.counter("gpu_d2h_busy_ns_total", l).inc(static_cast<double>(dev.d2h_busy()));
+    out.counter("gpu_bytes_h2d_total", l).inc(static_cast<double>(dev.bytes_h2d()));
+    out.counter("gpu_bytes_d2h_total", l).inc(static_cast<double>(dev.bytes_d2h()));
+    out.gauge("gpu_cache_region_used_bytes", l)
+        .set(static_cast<double>(memory_->region_used(static_cast<int>(i))));
+  }
+  out.counter("gpu_cache_hits_total").inc(static_cast<double>(memory_->hits()));
+  out.counter("gpu_cache_misses_total").inc(static_cast<double>(memory_->misses()));
+  out.counter("gpu_cache_evictions_total").inc(static_cast<double>(memory_->evictions()));
+  out.counter("gpu_cache_pins_total").inc(static_cast<double>(memory_->pins()));
+  streams_->export_metrics(out);
 }
 
 GFlinkRuntime::GFlinkRuntime(dataflow::Engine& engine, const GpuManagerConfig& config) {
   for (int w = 1; w <= engine.num_workers(); ++w) {
     managers_.push_back(std::make_unique<GpuManager>(engine.sim(), w, config,
-                                                     &engine.cluster().tracer()));
+                                                     &engine.cluster().tracer(),
+                                                     &engine.cluster().metrics()));
     engine.set_extension(w, managers_.back().get());
   }
 }

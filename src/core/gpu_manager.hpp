@@ -32,15 +32,24 @@ struct GpuManagerConfig {
 
 class GpuManager {
  public:
+  /// `registry` (optional) is the observability sink for scheduler
+  /// distributions; the tracer covers per-lane timelines.
   GpuManager(sim::Simulation& sim, int node_id, const GpuManagerConfig& config,
-             sim::Tracer* tracer);
+             sim::Tracer* tracer, obs::MetricsRegistry* registry = nullptr);
 
   int node_id() const { return node_id_; }
   int num_devices() const { return static_cast<int>(devices_.size()); }
   gpu::GpuDevice& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
+  const gpu::GpuDevice& device(int i) const { return *devices_.at(static_cast<std::size_t>(i)); }
   gpu::CudaWrapper& wrapper(int i) { return *wrappers_.at(static_cast<std::size_t>(i)); }
   GMemoryManager& memory() { return *memory_; }
+  const GMemoryManager& memory() const { return *memory_; }
   GStreamManager& streams() { return *streams_; }
+  const GStreamManager& streams() const { return *streams_; }
+
+  /// Publish this worker's GPU-side state: per-device engine busy time and
+  /// byte counts, cache totals, and the scheduler's counters.
+  void export_metrics(obs::MetricsRegistry& out) const;
 
   /// Submit a GWork and await its completion (the producer side of the
   /// producer-consumer scheme).
@@ -86,6 +95,11 @@ class GFlinkRuntime {
   std::uint64_t total_cache_misses() const;
   std::uint64_t total_kernels() const;
   std::uint64_t total_bytes_h2d() const;
+
+  /// Publish every worker's GPU-side metrics into `out`.
+  void export_metrics(obs::MetricsRegistry& out) const {
+    for (const auto& m : managers_) m->export_metrics(out);
+  }
 
  private:
   std::vector<std::unique_ptr<GpuManager>> managers_;

@@ -5,10 +5,15 @@
 namespace gflink::core {
 
 GStreamManager::GStreamManager(sim::Simulation& sim, std::vector<gpu::CudaWrapper*> wrappers,
-                               GMemoryManager& memory, const GStreamConfig& config)
+                               GMemoryManager& memory, const GStreamConfig& config,
+                               obs::MetricsRegistry* registry)
     : sim_(&sim), wrappers_(std::move(wrappers)), memory_(&memory), config_(config) {
   GFLINK_CHECK(!wrappers_.empty());
   GFLINK_CHECK(config_.streams_per_gpu >= 1);
+  if (registry != nullptr) {
+    queue_depth_hist_ = &registry->histogram("gstream_queue_depth", 0.0, 256.0, 64);
+    latency_hist_ = &registry->histogram("gwork_latency_ns", 0.0, 5.0e7, 100);
+  }
   pool_.resize(wrappers_.size());
   executed_.assign(wrappers_.size(), 0);
   bulks_.resize(wrappers_.size());
@@ -80,11 +85,14 @@ void GStreamManager::submit(const GWorkPtr& work) {
   GFLINK_CHECK_MSG(work->done == nullptr, "GWork submitted twice");
   work->done = std::make_shared<sim::Trigger>(*sim_);
   work->submitted_at = sim_->now();
+  // Record what Algorithm 5.1's probe would prefer regardless of the active
+  // policy, so the locality hit/miss metric is comparable across ablations.
+  work->preferred_gpu = memory_->best_device_for(*work);
 
   int preferred = -1;
   switch (config_.policy) {
     case SchedulingPolicy::LocalityAware:
-      preferred = memory_->best_device_for(*work);
+      preferred = work->preferred_gpu;
       break;
     case SchedulingPolicy::RoundRobin:
       preferred = round_robin_cursor_;
@@ -106,6 +114,9 @@ void GStreamManager::submit(const GWorkPtr& work) {
   // Algorithm 5.1, lines 11-18: no idle stream anywhere — queue the work.
   const int queue = preferred >= 0 ? preferred : shortest_queue();
   pool_[static_cast<std::size_t>(queue)].push_back(work);
+  if (queue_depth_hist_ != nullptr) {
+    queue_depth_hist_->add(static_cast<double>(pool_[static_cast<std::size_t>(queue)].size()));
+  }
   ensure_alive(queue);
 }
 
@@ -191,15 +202,16 @@ sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
       spans.emplace_back(out.host->data(), out.bytes);
     }
     const gpu::Kernel& kernel = gpu::KernelRegistry::global().lookup(work->execute_name);
+    const sim::Time kernel_begin = sim_->now();
     co_await api.device().launch_mapped(kernel, std::move(spans), work->size, work->layout,
                                         work->execute_name);
-    ++executed_[static_cast<std::size_t>(gpu_index)];
-    work->finished_at = sim_->now();
-    work->done->fire();
+    stage_kernel_ns_ += sim_->now() - kernel_begin;
+    finish(work, gpu_index);
     co_return;
   }
 
   const std::string label = work->execute_name;
+  const sim::Time stage1_begin = sim_->now();
   std::vector<gpu::GpuDevice::BufferBinding> bindings;
   bindings.reserve(work->inputs.size() + work->outputs.size());
   std::vector<gpu::DevicePtr> temporaries;
@@ -251,10 +263,14 @@ sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
   }
 
   // Stage 2: kernel execution.
+  const sim::Time stage2_begin = sim_->now();
+  stage_h2d_ns_ += stage2_begin - stage1_begin;
   co_await api.launch_kernel(work->execute_name, bindings, work->size, work->layout,
                              work->block_size, work->grid_size, work->params.get(), label);
 
   // Stage 3: D2H result transfers.
+  const sim::Time stage3_begin = sim_->now();
+  stage_kernel_ns_ += stage3_begin - stage2_begin;
   std::size_t binding_index = work->inputs.size();
   for (auto& out : work->outputs) {
     co_await api.memcpy_d2h(*out.host, 0, bindings[binding_index].ptr, out.bytes, label);
@@ -267,10 +283,41 @@ sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
   for (std::uint64_t key : pinned_keys) {
     memory_->unpin(gpu_index, work->job_id, key);
   }
+  stage_d2h_ns_ += sim_->now() - stage3_begin;
 
+  finish(work, gpu_index);
+}
+
+void GStreamManager::finish(const GWorkPtr& work, int gpu_index) {
   ++executed_[static_cast<std::size_t>(gpu_index)];
   work->finished_at = sim_->now();
+  if (work->preferred_gpu >= 0) {
+    if (work->executed_on_gpu == work->preferred_gpu) {
+      ++locality_hits_;
+    } else {
+      ++locality_misses_;
+    }
+  }
+  if (latency_hist_ != nullptr) {
+    latency_hist_->add(static_cast<double>(work->finished_at - work->submitted_at));
+  }
   work->done->fire();
+}
+
+void GStreamManager::export_metrics(obs::MetricsRegistry& out) const {
+  for (std::size_t g = 0; g < executed_.size(); ++g) {
+    out.counter("gstream_executed_total", {{"gpu", std::to_string(g)}})
+        .inc(static_cast<double>(executed_[g]));
+  }
+  out.counter("gstream_steals_total").inc(static_cast<double>(steals_));
+  out.counter("gstream_cross_bulk_total").inc(static_cast<double>(cross_bulk_));
+  out.counter("gstream_freed_streams_total").inc(static_cast<double>(freed_count_));
+  out.counter("gstream_locality_hits_total").inc(static_cast<double>(locality_hits_));
+  out.counter("gstream_locality_misses_total").inc(static_cast<double>(locality_misses_));
+  out.counter("gpu_stage_busy_ns", {{"stage", "h2d"}}).inc(static_cast<double>(stage_h2d_ns_));
+  out.counter("gpu_stage_busy_ns", {{"stage", "kernel"}})
+      .inc(static_cast<double>(stage_kernel_ns_));
+  out.counter("gpu_stage_busy_ns", {{"stage", "d2h"}}).inc(static_cast<double>(stage_d2h_ns_));
 }
 
 }  // namespace gflink::core

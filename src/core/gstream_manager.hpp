@@ -25,7 +25,9 @@
 #include "core/gmemory_manager.hpp"
 #include "core/gwork.hpp"
 #include "gpu/api.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
+#include "sim/stats.hpp"
 
 namespace gflink::core {
 
@@ -39,8 +41,11 @@ struct GStreamConfig {
 
 class GStreamManager {
  public:
+  /// `registry` (optional, plumbed like the tracer) receives the hot-path
+  /// distributions: queue depth at enqueue and GWork submit->done latency.
   GStreamManager(sim::Simulation& sim, std::vector<gpu::CudaWrapper*> wrappers,
-                 GMemoryManager& memory, const GStreamConfig& config);
+                 GMemoryManager& memory, const GStreamConfig& config,
+                 obs::MetricsRegistry* registry = nullptr);
 
   /// Submit one GWork (Algorithm 5.1). Creates work->done, routes the work,
   /// and returns immediately; await work->done->wait() for completion.
@@ -63,6 +68,19 @@ class GStreamManager {
   std::size_t queue_depth(int gpu) const {
     return pool_.at(static_cast<std::size_t>(gpu)).size();
   }
+  /// GWork whose cached-input-preferred device (Algorithm 5.1's probe at
+  /// submit time) matched / missed the device it actually executed on.
+  /// Work with nothing cached anywhere counts as neither.
+  std::uint64_t locality_hits() const { return locality_hits_; }
+  std::uint64_t locality_misses() const { return locality_misses_; }
+  // Per-stage elapsed time of the three-stage pipeline, summed over streams.
+  sim::Duration stage_h2d_busy() const { return stage_h2d_ns_; }
+  sim::Duration stage_kernel_busy() const { return stage_kernel_ns_; }
+  sim::Duration stage_d2h_busy() const { return stage_d2h_ns_; }
+
+  /// Publish scheduler counters (executions per GPU, steals, locality
+  /// hits/misses, per-stage busy time) into `out`.
+  void export_metrics(obs::MetricsRegistry& out) const;
 
  private:
   struct StreamWorker {
@@ -90,6 +108,9 @@ class GStreamManager {
   /// The three-stage pipeline for one GWork on one stream.
   sim::Co<void> execute(StreamWorker* w, const GWorkPtr& work);
 
+  /// Completion bookkeeping shared by the mapped and pipelined paths.
+  void finish(const GWorkPtr& work, int gpu_index);
+
   sim::Simulation* sim_;
   std::vector<gpu::CudaWrapper*> wrappers_;
   GMemoryManager* memory_;
@@ -104,6 +125,16 @@ class GStreamManager {
   std::uint64_t steals_ = 0;
   std::uint64_t cross_bulk_ = 0;
   std::uint64_t freed_count_ = 0;
+  std::uint64_t locality_hits_ = 0;
+  std::uint64_t locality_misses_ = 0;
+  sim::Duration stage_h2d_ns_ = 0;
+  sim::Duration stage_kernel_ns_ = 0;
+  sim::Duration stage_d2h_ns_ = 0;
+
+  // Hot-path distribution sinks (owned by the registry; null when no
+  // registry was attached).
+  sim::Histogram* queue_depth_hist_ = nullptr;
+  sim::Histogram* latency_hist_ = nullptr;
 };
 
 }  // namespace gflink::core

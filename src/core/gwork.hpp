@@ -73,6 +73,10 @@ struct GWork {
   int executed_on_gpu = -1;
   int executed_on_stream = -1;
   bool was_stolen = false;
+  /// Device Algorithm 5.1's locality probe preferred at submit time (-1
+  /// when nothing was cached anywhere); compared against executed_on_gpu
+  /// for the scheduler's locality hit/miss metric.
+  int preferred_gpu = -1;
 
   std::uint64_t input_bytes() const {
     std::uint64_t n = 0;

@@ -123,6 +123,25 @@ Worker& Engine::worker_state(int node_id) {
   return *workers_[static_cast<std::size_t>(node_id)];
 }
 
+void Engine::note_stage(const StageStat& stat) {
+  obs::MetricsRegistry& m = cluster_.metrics();
+  m.inc("engine.stages");
+  m.inc("engine.stage_tasks", static_cast<double>(stat.tasks));
+  m.inc("engine.records_in", static_cast<double>(stat.records_in));
+  m.inc("engine.records_out", static_cast<double>(stat.records_out));
+  m.inc("engine.shuffle_bytes", static_cast<double>(stat.shuffle_bytes));
+  // 0..10 s of virtual time per stage, 100 buckets; the summary keeps exact
+  // bounds for outliers.
+  m.histogram("engine_stage_duration_ns", 0.0, 1.0e10, 100)
+      .add(static_cast<double>(stat.end - stat.begin));
+}
+
+void Engine::export_metrics(obs::MetricsRegistry& out) const {
+  cluster_.export_metrics(out);
+  out.counter("engine_tasks_failed_total").inc(static_cast<double>(tasks_failed_));
+  out.counter("engine_tasks_retried_total").inc(static_cast<double>(tasks_retried_));
+}
+
 sim::Time Engine::run(std::function<sim::Co<void>(Engine&)> driver) {
   sim_.spawn(driver(*this));
   const sim::Time end = sim_.run();
@@ -234,6 +253,7 @@ sim::Co<DataHandle> Engine::run_source(Job& job, const SourceSpec& source) {
 
   stat.end = now();
   stat.records_out = out->total_records();
+  note_stage(stat);
   job.stats().stages.push_back(std::move(stat));
   co_return out;
 }
@@ -517,6 +537,7 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
   stat.end = now();
   stat.records_out = out->total_records();
   job.stats().shuffle_bytes += stat.shuffle_bytes;
+  note_stage(stat);
   job.stats().stages.push_back(std::move(stat));
   co_return out;
 }
@@ -694,6 +715,7 @@ sim::Co<DataHandle> Engine::join(Job& job, const DataHandle& left, const DataHan
   stat.end = now();
   stat.records_out = out->total_records();
   job.stats().shuffle_bytes += stat.shuffle_bytes;
+  note_stage(stat);
   job.stats().stages.push_back(std::move(stat));
   co_return out;
 }
@@ -806,6 +828,7 @@ sim::Co<DataHandle> Engine::co_group(Job& job, const DataHandle& left,
   stat.end = now();
   stat.records_out = out->total_records();
   job.stats().shuffle_bytes += stat.shuffle_bytes;
+  note_stage(stat);
   job.stats().stages.push_back(std::move(stat));
   co_return out;
 }

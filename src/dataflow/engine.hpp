@@ -173,6 +173,14 @@ class Engine {
   int default_parallelism() const { return default_parallelism_; }
   Worker& worker_state(int node_id);
 
+  /// The cluster-wide labeled metrics registry (obs subsystem).
+  obs::MetricsRegistry& metrics() { return cluster_.metrics(); }
+  const obs::MetricsRegistry& metrics() const { return cluster_.metrics(); }
+
+  /// Publish the engine's view of the run into `out`: the cluster registry
+  /// (incl. per-pipe totals), stage/shuffle counters and task retries.
+  void export_metrics(obs::MetricsRegistry& out) const;
+
   /// Install the GFlink extension on a worker node.
   void set_extension(int node_id, void* ext) { worker_state(node_id).set_extension(ext); }
 
@@ -278,6 +286,10 @@ class Engine {
   static mem::RecordBatch combine_by_key(const OpNode& reduce, const mem::RecordBatch& batch);
 
   int owner_of_partition(int index) const { return 1 + index % num_workers(); }
+
+  /// Fold one completed stage's stats into the registry (duration
+  /// histogram plus stage/record/shuffle counters).
+  void note_stage(const StageStat& stat);
 
   /// A healthy worker to retry a failed partition on (round-robin from the
   /// failed node). Aborts if the whole cluster is dead.

@@ -21,7 +21,8 @@ sim::Duration GpuDevice::dma_time(std::uint64_t bytes, bool pinned) const {
 }
 
 sim::Co<void> GpuDevice::dma(sim::Mutex& engine, const char* lane, std::uint64_t bytes,
-                             bool pinned, bool off_heap, const std::string& label) {
+                             bool pinned, bool off_heap, const std::string& label,
+                             sim::Duration& busy) {
   // JVM-heap buffers must first be staged into native memory — the copy the
   // paper's off-heap design eliminates (§4.1.2). It is a CPU memcpy, so it
   // does not occupy the DMA engine.
@@ -31,6 +32,7 @@ sim::Co<void> GpuDevice::dma(sim::Mutex& engine, const char* lane, std::uint64_t
   co_await engine.lock();
   sim::Time begin = sim_->now();
   co_await sim_->delay(dma_time(bytes, pinned));
+  busy += sim_->now() - begin;
   if (tracer_) tracer_->record(id_ + "/" + lane, label, begin, sim_->now());
   engine.unlock();
 }
@@ -45,14 +47,14 @@ sim::Co<void> GpuDevice::copy_h2d(const mem::HBuffer& src, std::size_t src_offse
   std::byte* shadow = memory_.shadow(dst, bytes);
   std::memcpy(shadow, src.data() + src_offset, bytes);
   bytes_h2d_ += bytes;
-  co_await dma(copy_a_, "h2d", bytes, src.pinned(), src.off_heap(), label);
+  co_await dma(copy_a_, "h2d", bytes, src.pinned(), src.off_heap(), label, h2d_busy_);
 }
 
 sim::Co<void> GpuDevice::copy_d2h(DevicePtr src, mem::HBuffer& dst, std::size_t dst_offset,
                                   std::uint64_t bytes, const std::string& label) {
   GFLINK_CHECK(dst_offset + bytes <= dst.size());
   sim::Mutex& engine = spec_.copy_engines >= 2 ? copy_b_ : copy_a_;
-  co_await dma(engine, "d2h", bytes, dst.pinned(), dst.off_heap(), label);
+  co_await dma(engine, "d2h", bytes, dst.pinned(), dst.off_heap(), label, d2h_busy_);
   // Copy bytes after the simulated transfer completes: the destination is
   // only coherent once the DMA is done, and callers may inspect it then.
   const std::byte* shadow = memory_.shadow(src, bytes);

@@ -73,10 +73,12 @@ class GpuDevice {
   std::uint64_t bytes_d2h() const { return bytes_d2h_; }
   std::uint64_t kernels_launched() const { return kernels_launched_; }
   sim::Duration kernel_busy() const { return kernel_busy_; }
+  sim::Duration h2d_busy() const { return h2d_busy_; }
+  sim::Duration d2h_busy() const { return d2h_busy_; }
 
  private:
   sim::Co<void> dma(sim::Mutex& engine, const char* lane, std::uint64_t bytes, bool pinned,
-                    bool off_heap, const std::string& label);
+                    bool off_heap, const std::string& label, sim::Duration& busy);
 
   sim::Simulation* sim_;
   std::string id_;
@@ -92,6 +94,8 @@ class GpuDevice {
   std::uint64_t bytes_d2h_ = 0;
   std::uint64_t kernels_launched_ = 0;
   sim::Duration kernel_busy_ = 0;
+  sim::Duration h2d_busy_ = 0;
+  sim::Duration d2h_busy_ = 0;
 
   /// Host-side memcpy bandwidth for JVM-heap staging copies (the cost the
   /// off-heap design removes).

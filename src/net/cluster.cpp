@@ -34,6 +34,16 @@ Cluster::Cluster(sim::Simulation& sim, const ClusterConfig& config)
   }
 }
 
+void Cluster::export_metrics(obs::MetricsRegistry& out) const {
+  out.merge_from(metrics_);
+  for (const auto& node : nodes_) {
+    node->egress().export_metrics(out);
+    node->ingress().export_metrics(out);
+    node->disk_read().export_metrics(out);
+    node->disk_write().export_metrics(out);
+  }
+}
+
 sim::Co<void> Cluster::transfer(int src, int dst, std::uint64_t bytes, const std::string& label) {
   if (src == dst) co_return;  // in-memory, no NIC involvement
   if (colocated_master_ && (src == 0 || dst == 0)) co_return;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
@@ -67,11 +68,14 @@ class Pipe {
 
   /// Occupy the pipe for the duration of the transfer.
   sim::Co<void> transfer(std::uint64_t bytes, const std::string& label = {}) {
+    const Time requested = sim_->now();
     co_await mutex_.lock();
     Time begin = sim_->now();
+    queue_wait_ns_ += begin - requested;  // time spent behind earlier transfers
     co_await sim_->delay(latency_ + sim::transfer_time(bytes, bandwidth_));
     bytes_moved_ += bytes;
     ++transfers_;
+    busy_ns_ += sim_->now() - begin;
     if (tracer_) tracer_->record(name_, label, begin, sim_->now());
     mutex_.unlock();
   }
@@ -86,6 +90,25 @@ class Pipe {
   std::uint64_t bytes_moved() const { return bytes_moved_; }
   std::uint64_t transfers() const { return transfers_; }
   bool busy() const { return mutex_.locked(); }
+  /// Total time the pipe was occupied by transfers.
+  Duration busy_time() const { return busy_ns_; }
+  /// Total time transfers spent queued behind earlier ones.
+  Duration queue_wait() const { return queue_wait_ns_; }
+  /// Fraction of [0, horizon] the pipe was busy.
+  double utilization(Time horizon) const {
+    return horizon > 0 ? static_cast<double>(busy_ns_) / static_cast<double>(horizon) : 0.0;
+  }
+
+  /// Publish this pipe's totals into a metrics registry, labeled by pipe
+  /// name (counters add, so repeated exports accumulate — export once per
+  /// run into a fresh or accumulating registry).
+  void export_metrics(obs::MetricsRegistry& out) const {
+    const obs::Labels l{{"pipe", name_}};
+    out.counter("net_pipe_bytes_total", l).inc(static_cast<double>(bytes_moved_));
+    out.counter("net_pipe_transfers_total", l).inc(static_cast<double>(transfers_));
+    out.counter("net_pipe_busy_ns_total", l).inc(static_cast<double>(busy_ns_));
+    out.counter("net_pipe_queue_wait_ns_total", l).inc(static_cast<double>(queue_wait_ns_));
+  }
 
  private:
   sim::Simulation* sim_;
@@ -96,6 +119,8 @@ class Pipe {
   sim::Tracer* tracer_;
   std::uint64_t bytes_moved_ = 0;
   std::uint64_t transfers_ = 0;
+  Duration busy_ns_ = 0;
+  Duration queue_wait_ns_ = 0;
 };
 
 /// One machine in the cluster.
@@ -110,6 +135,10 @@ class Node {
   Pipe& ingress() { return ingress_; }
   Pipe& disk_read() { return disk_read_; }
   Pipe& disk_write() { return disk_write_; }
+  const Pipe& egress() const { return egress_; }
+  const Pipe& ingress() const { return ingress_; }
+  const Pipe& disk_read() const { return disk_read_; }
+  const Pipe& disk_write() const { return disk_write_; }
 
   /// CPU time for one record through an operator chain with the given
   /// per-record work (roofline over flops and bytes) — excluding the pipe
@@ -144,10 +173,17 @@ class Cluster {
   int num_workers() const { return static_cast<int>(nodes_.size()) - 1; }
   Node& master() { return *nodes_.front(); }
   Node& node(int id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  const Node& node(int id) const { return *nodes_.at(static_cast<std::size_t>(id)); }
   Node& worker(int index) { return *nodes_.at(static_cast<std::size_t>(index) + 1); }
 
   sim::Tracer& tracer() { return tracer_; }
-  sim::MetricRegistry& metrics() { return metrics_; }
+  const sim::Tracer& tracer() const { return tracer_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Publish the cluster's registry plus every node's pipe totals into
+  /// `out` (the run-report capture path).
+  void export_metrics(obs::MetricsRegistry& out) const;
 
   /// Bulk data transfer src -> dst through both NICs (store-and-forward at
   /// the bottleneck rate). Local "transfers" are free.
@@ -160,7 +196,7 @@ class Cluster {
   sim::Simulation* sim_;
   bool colocated_master_ = false;
   sim::Tracer tracer_;
-  sim::MetricRegistry metrics_;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -1,0 +1,126 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace gflink::obs {
+
+namespace {
+
+sim::Time latest_span_end(const sim::Tracer& tracer) {
+  sim::Time end = 0;
+  for (const auto& s : tracer.spans()) end = std::max(end, s.end);
+  return end;
+}
+
+/// "node1.gpu0/h2d" -> process "node1.gpu0", thread "h2d". Lanes without a
+/// '/' become a thread of the catch-all process "sim".
+std::pair<std::string, std::string> split_lane(const std::string& lane) {
+  auto slash = lane.rfind('/');
+  if (slash == std::string::npos) return {"sim", lane};
+  return {lane.substr(0, slash), lane.substr(slash + 1)};
+}
+
+void write_event_prefix(std::ostream& os, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    ";
+}
+
+}  // namespace
+
+std::map<std::string, LaneUtilization> lane_utilization(const sim::Tracer& tracer,
+                                                        sim::Time horizon) {
+  if (horizon <= 0) horizon = latest_span_end(tracer);
+  std::map<std::string, LaneUtilization> out;
+  for (const auto& s : tracer.spans()) ++out[s.lane].spans;
+  for (auto& [lane, u] : out) {
+    u.busy_ns = tracer.busy_time(lane);
+    u.utilization = horizon > 0 ? static_cast<double>(u.busy_ns) / static_cast<double>(horizon)
+                                : 0.0;
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const sim::Tracer& tracer,
+                        const MetricsRegistry* metrics, sim::Time horizon) {
+  if (horizon <= 0) horizon = latest_span_end(tracer);
+
+  // Stable pid/tid assignment: processes and threads numbered in first-seen
+  // order over the (deterministic) span sequence.
+  std::map<std::string, int> pids;   // process name -> pid
+  std::map<std::string, int> tids;   // full lane -> tid
+  std::vector<std::pair<std::string, std::string>> lane_split;  // tid order
+  for (const auto& s : tracer.spans()) {
+    if (tids.count(s.lane)) continue;
+    auto [proc, thread] = split_lane(s.lane);
+    if (!pids.count(proc)) pids.emplace(proc, static_cast<int>(pids.size()) + 1);
+    tids.emplace(s.lane, static_cast<int>(tids.size()) + 1);
+    lane_split.emplace_back(proc, thread);
+  }
+
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+
+  // Metadata: process and thread names.
+  for (const auto& [proc, pid] : pids) {
+    write_event_prefix(os, first);
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(proc) << "\"}}";
+  }
+  {
+    std::size_t i = 0;
+    for (const auto& [lane, tid] : tids) {
+      const auto& [proc, thread] = lane_split[i++];
+      write_event_prefix(os, first);
+      os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pids.at(proc)
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(thread) << "\"}}";
+    }
+  }
+
+  // Spans: complete ("X") events, timestamps in microseconds.
+  for (const auto& s : tracer.spans()) {
+    const auto [proc, thread] = split_lane(s.lane);
+    write_event_prefix(os, first);
+    os << "{\"ph\":\"X\",\"name\":\"" << json_escape(s.label.empty() ? thread : s.label)
+       << "\",\"cat\":\"" << json_escape(proc) << "\",\"pid\":" << pids.at(proc)
+       << ",\"tid\":" << tids.at(s.lane) << ",\"ts\":" << sim::to_micros(s.begin)
+       << ",\"dur\":" << sim::to_micros(s.duration()) << "}";
+  }
+
+  // Counter snapshots at the end of the trace.
+  if (metrics != nullptr) {
+    for (const auto& [id, c] : metrics->counters()) {
+      write_event_prefix(os, first);
+      os << "{\"ph\":\"C\",\"name\":\"" << json_escape(id.to_string())
+         << "\",\"pid\":0,\"tid\":0,\"ts\":" << sim::to_micros(horizon)
+         << ",\"args\":{\"value\":" << c.value() << "}}";
+    }
+  }
+
+  os << "\n  ],\n  \"laneUtilization\": {";
+  {
+    bool first_lane = true;
+    for (const auto& [lane, u] : lane_utilization(tracer, horizon)) {
+      if (!first_lane) os << ",";
+      first_lane = false;
+      os << "\n    \"" << json_escape(lane) << "\": {\"busy_ns\": " << u.busy_ns
+         << ", \"spans\": " << u.spans << ", \"utilization\": " << u.utilization << "}";
+    }
+  }
+  os << "\n  }\n}\n";
+}
+
+std::string chrome_trace_json(const sim::Tracer& tracer, const MetricsRegistry* metrics,
+                              sim::Time horizon) {
+  std::ostringstream os;
+  write_chrome_trace(os, tracer, metrics, horizon);
+  return os.str();
+}
+
+}  // namespace gflink::obs

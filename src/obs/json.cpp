@@ -1,0 +1,278 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gflink::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double v, bool is_int) {
+  if (is_int || (std::floor(v) == v && std::abs(v) < 9.0e15 && std::isfinite(v))) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; report null
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: append_number(out, num_, is_int_); break;
+    case Type::String:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        out += '"';
+        out += json_escape(object_[i].first);
+        out += pretty ? "\": " : "\":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                                 text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json fail() {
+    ok = false;
+    return Json();
+  }
+
+  Json parse_string_value() {
+    // Caller consumed the opening quote.
+    std::string s;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return Json(std::move(s));
+      if (c == '\\') {
+        if (pos >= text.size()) return fail();
+        char e = text[pos++];
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail();
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail();
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs kept simple:
+            // each half encodes independently — fine for validation use).
+            if (cp < 0x80) {
+              s += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              s += static_cast<char>(0xC0 | (cp >> 6));
+              s += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (cp >> 12));
+              s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return fail();
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail();  // control characters must be escaped
+      } else {
+        s += c;
+      }
+    }
+    return fail();  // unterminated string
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    bool integral = true;
+    if (pos < text.size() && text[pos] == '.') {
+      integral = false;
+      ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      integral = false;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    double v = 0.0;
+    auto res = std::from_chars(text.data() + start, text.data() + pos, v);
+    if (res.ec != std::errc() || res.ptr != text.data() + pos) return fail();
+    if (integral) return Json(static_cast<std::int64_t>(v));
+    return Json(v);
+  }
+
+  Json parse_value(int depth) {
+    if (depth > 200) return fail();  // pathological nesting
+    skip_ws();
+    if (pos >= text.size()) return fail();
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      skip_ws();
+      if (eat('}')) return obj;
+      while (ok) {
+        if (!eat('"')) return fail();
+        Json key = parse_string_value();
+        if (!ok) return Json();
+        if (!eat(':')) return fail();
+        Json value = parse_value(depth + 1);
+        if (!ok) return Json();
+        obj[key.as_string()] = std::move(value);
+        if (eat(',')) continue;
+        if (eat('}')) return obj;
+        return fail();
+      }
+      return Json();
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      skip_ws();
+      if (eat(']')) return arr;
+      while (ok) {
+        Json value = parse_value(depth + 1);
+        if (!ok) return Json();
+        arr.push_back(std::move(value));
+        if (eat(',')) continue;
+        if (eat(']')) return arr;
+        return fail();
+      }
+      return Json();
+    }
+    if (c == '"') {
+      ++pos;
+      return parse_string_value();
+    }
+    if (c == 't') return literal("true") ? Json(true) : fail();
+    if (c == 'f') return literal("false") ? Json(false) : fail();
+    if (c == 'n') return literal("null") ? Json(nullptr) : fail();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return parse_number();
+    return fail();
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  Json v = p.parse_value(0);
+  if (!p.ok) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace gflink::obs

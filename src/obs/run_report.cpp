@@ -1,0 +1,50 @@
+#include "obs/run_report.hpp"
+
+#include <fstream>
+
+namespace gflink::obs {
+
+Json RunReport::to_json() const {
+  Json root = Json::object();
+  root["name"] = name;
+  root["schema"] = "gflink.run_report/v1";
+  root["config"] = config;
+  root["wall_seconds"] = wall_seconds;
+  root["virtual_ns"] = static_cast<std::int64_t>(virtual_ns);
+  root["virtual_seconds"] = sim::to_seconds(virtual_ns);
+  root["metrics"] = metrics.to_json();
+  Json lanes_json = Json::object();
+  for (const auto& [lane, u] : lanes) {
+    Json entry = Json::object();
+    entry["busy_ns"] = static_cast<std::int64_t>(u.busy_ns);
+    entry["spans"] = u.spans;
+    entry["utilization"] = u.utilization;
+    lanes_json[lane] = std::move(entry);
+  }
+  root["lane_utilization"] = std::move(lanes_json);
+  return root;
+}
+
+bool RunReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json().dump(2) << "\n";
+  return static_cast<bool>(out);
+}
+
+void add_derived_gflink_metrics(MetricsRegistry& m) {
+  // Touch the headline keys so every report carries them, then derive.
+  for (const char* stage : {"h2d", "kernel", "d2h"}) {
+    m.counter("gpu_stage_busy_ns", {{"stage", stage}});
+  }
+  const double hits = m.counter_value("gpu_cache_hits_total");
+  const double misses = m.counter_value("gpu_cache_misses_total");
+  m.gauge("cache_hit_ratio").set(hits + misses > 0 ? hits / (hits + misses) : 0.0);
+
+  const double loc_hits = m.counter_value("gstream_locality_hits_total");
+  const double loc_misses = m.counter_value("gstream_locality_misses_total");
+  m.gauge("locality_hit_ratio")
+      .set(loc_hits + loc_misses > 0 ? loc_hits / (loc_hits + loc_misses) : 0.0);
+}
+
+}  // namespace gflink::obs

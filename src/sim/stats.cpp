@@ -1,22 +1,36 @@
 #include "sim/stats.hpp"
 
+#include <cmath>
+
 namespace gflink::sim {
 
 double Histogram::quantile(double q) const {
-  if (summary_.count() == 0) return 0.0;
-  auto target = static_cast<std::uint64_t>(q * static_cast<double>(summary_.count()));
-  std::uint64_t seen = 0;
+  const std::uint64_t n = summary_.count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample we want: the smallest value v such that at least
+  // ceil(q * n) samples are <= v (nearest-rank definition).
+  auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  target = std::max<std::uint64_t>(target, 1);
+
   const std::size_t inner = counts_.size() - 2;
   const double width = (hi_ - lo_) / static_cast<double>(inner);
+  std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
     seen += counts_[i];
-    if (seen > target) {
-      if (i == 0) return lo_;
-      if (i == counts_.size() - 1) return hi_;
-      return lo_ + (static_cast<double>(i - 1) + 0.5) * width;
-    }
+    if (seen < target) continue;
+    if (i == 0) return summary_.min();                    // underflow: < lo
+    if (i == counts_.size() - 1) return summary_.max();   // overflow: >= hi
+    // Interpolate inside the covering bucket, then clamp to the observed
+    // range so quantiles never exceed what was actually sampled.
+    const std::uint64_t before = seen - counts_[i];
+    const double frac =
+        static_cast<double>(target - before) / static_cast<double>(counts_[i]);
+    const double bucket_lo = lo_ + static_cast<double>(i - 1) * width;
+    return std::clamp(bucket_lo + frac * width, summary_.min(), summary_.max());
   }
-  return hi_;
+  return summary_.max();
 }
 
 }  // namespace gflink::sim

@@ -1,14 +1,18 @@
 // Lightweight metrics for simulation components.
+//
+// Summary and Histogram are the raw statistics primitives; the labeled
+// registry that components publish them through lives one layer up in
+// obs/metrics.hpp (the observability subsystem).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/util.hpp"
 
 namespace gflink::sim {
 
@@ -20,6 +24,13 @@ class Summary {
     sum_ += x;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+  }
+  /// Fold another summary in (bench accumulation across runs).
+  void merge(const Summary& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
   }
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
@@ -36,61 +47,57 @@ class Summary {
 
 /// Fixed-bucket histogram over [lo, hi) with linear buckets plus
 /// under/overflow. Enough for latency distributions in tests and reports.
+/// The exact min/max/mean of the samples are kept in the Summary, so they
+/// stay correct even when every sample lands in under/overflow.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), counts_(buckets + 2, 0) {}
+      : lo_(lo), hi_(hi), counts_(buckets + 2, 0) {
+    GFLINK_CHECK(buckets >= 1 && hi > lo);
+  }
 
   void add(double x) {
     summary_.add(x);
     if (x < lo_) {
       ++counts_.front();
     } else if (x >= hi_) {
-      ++counts_.back();
+      ++counts_.back();  // samples exactly at hi land in overflow
     } else {
+      const std::size_t inner = counts_.size() - 2;
       auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
-                                          static_cast<double>(counts_.size() - 2));
+                                          static_cast<double>(inner));
+      // Floating-point rounding can push x just below hi into bucket
+      // `inner`; clamp so only x >= hi reaches the overflow bucket.
+      if (idx >= inner) idx = inner - 1;
       ++counts_[1 + idx];
     }
   }
 
+  /// Fold another histogram in; bucket layouts must match.
+  void merge(const Histogram& other) {
+    GFLINK_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                         counts_.size() == other.counts_.size(),
+                     "merging histograms with different bucket layouts");
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    summary_.merge(other.summary_);
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   const Summary& summary() const { return summary_; }
   std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   std::size_t buckets() const { return counts_.size(); }
 
-  /// Approximate quantile from bucket midpoints.
+  /// Approximate quantile (q in [0,1]): linear interpolation inside the
+  /// covering bucket, clamped to the observed [min, max]. Under/overflow
+  /// samples resolve to min/max respectively, so a histogram whose samples
+  /// all fall outside [lo, hi) still reports exact quantile bounds.
   double quantile(double q) const;
 
  private:
   double lo_, hi_;
   std::vector<std::uint64_t> counts_;
   Summary summary_;
-};
-
-/// Named counters/summaries shared by a simulation's components.
-/// Plain map keyed by string; simulations are single-threaded.
-class MetricRegistry {
- public:
-  void inc(const std::string& name, double v = 1.0) { counters_[name] += v; }
-  double counter(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0.0 : it->second;
-  }
-  void observe(const std::string& name, double v) { summaries_[name].add(v); }
-  const Summary* summary(const std::string& name) const {
-    auto it = summaries_.find(name);
-    return it == summaries_.end() ? nullptr : &it->second;
-  }
-  const std::map<std::string, double>& counters() const { return counters_; }
-  const std::map<std::string, Summary>& summaries() const { return summaries_; }
-  void clear() {
-    counters_.clear();
-    summaries_.clear();
-  }
-
- private:
-  std::map<std::string, double> counters_;
-  std::map<std::string, Summary> summaries_;
 };
 
 }  // namespace gflink::sim

@@ -1,0 +1,265 @@
+// Tests for the observability subsystem: JSON tree + parser, the labeled
+// metrics registry, Chrome-trace export (validated by parsing the emitted
+// document), lane utilization rollups, and run reports.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "sim/trace.hpp"
+
+namespace obs = gflink::obs;
+namespace sim = gflink::sim;
+using obs::Json;
+
+// ---- Json ------------------------------------------------------------------
+
+TEST(Json, BuildAndDump) {
+  Json root = Json::object();
+  root["name"] = "run";
+  root["count"] = 3;
+  root["ratio"] = 0.5;
+  root["ok"] = true;
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  root["items"] = std::move(arr);
+  EXPECT_EQ(root.dump(),
+            "{\"name\":\"run\",\"count\":3,\"ratio\":0.5,\"ok\":true,\"items\":[1,\"two\"]}");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string doc =
+      R"({"a": 1, "b": [true, null, -2.5, "x\n\"y\""], "c": {"nested": 1e3}})";
+  auto parsed = Json::parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("a")->as_int(), 1);
+  const Json& b = *parsed->find("b");
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_TRUE(b.items()[0].as_bool());
+  EXPECT_TRUE(b.items()[1].is_null());
+  EXPECT_DOUBLE_EQ(b.items()[2].as_double(), -2.5);
+  EXPECT_EQ(b.items()[3].as_string(), "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(parsed->find("c")->find("nested")->as_double(), 1000.0);
+
+  // A dump of the parse must itself parse (round-trip stability).
+  auto reparsed = Json::parse(parsed->dump(2));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->dump(), parsed->dump());
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(Json::parse("'single'").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+TEST(Metrics, LabelSemantics) {
+  obs::MetricsRegistry m;
+  // Same name, different labels: distinct series.
+  m.counter("bytes", {{"pipe", "a"}}).inc(10);
+  m.counter("bytes", {{"pipe", "b"}}).inc(5);
+  m.counter("bytes").inc(1);
+  EXPECT_DOUBLE_EQ((m.counter_value("bytes", {{"pipe", "a"}})), 10.0);
+  EXPECT_DOUBLE_EQ((m.counter_value("bytes", {{"pipe", "b"}})), 5.0);
+  EXPECT_DOUBLE_EQ(m.counter_value("bytes"), 1.0);
+  EXPECT_DOUBLE_EQ(m.counter_sum("bytes"), 16.0);
+  // Label order must not matter: std::map canonicalizes.
+  m.counter("multi", {{"x", "1"}, {"y", "2"}}).inc(1);
+  m.counter("multi", {{"y", "2"}, {"x", "1"}}).inc(1);
+  EXPECT_DOUBLE_EQ((m.counter_value("multi", {{"y", "2"}, {"x", "1"}})), 2.0);
+  // Absent series read as zero.
+  EXPECT_DOUBLE_EQ((m.counter_value("bytes", {{"pipe", "zzz"}})), 0.0);
+
+  obs::MetricId id{"bytes", {{"pipe", "a"}}};
+  EXPECT_EQ(id.to_string(), "bytes{pipe=\"a\"}");
+  EXPECT_EQ((obs::MetricId{"plain"}.to_string()), "plain");
+}
+
+TEST(Metrics, HandlesAreStable) {
+  obs::MetricsRegistry m;
+  obs::Counter& c = m.counter("hot");
+  for (int i = 0; i < 100; ++i) m.counter("other" + std::to_string(i));
+  c.inc(7);
+  EXPECT_DOUBLE_EQ(m.counter_value("hot"), 7.0);
+}
+
+TEST(Metrics, HistogramRegistrationAndQuantiles) {
+  obs::MetricsRegistry m;
+  sim::Histogram& h = m.histogram("lat", 0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  // Second registration returns the same histogram; layout params ignored.
+  sim::Histogram& again = m.histogram("lat", 0.0, 1.0, 1);
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.summary().count(), 100u);
+  EXPECT_DOUBLE_EQ(again.quantile(0.5), 50.0);
+}
+
+TEST(Metrics, MergeFrom) {
+  obs::MetricsRegistry a, b;
+  a.counter("c").inc(1);
+  b.counter("c").inc(2);
+  b.counter("only_b").inc(4);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(9.0);
+  a.histogram("h", 0.0, 10.0, 5).add(1.0);
+  b.histogram("h", 0.0, 10.0, 5).add(2.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.counter_value("c"), 3.0);        // counters add
+  EXPECT_DOUBLE_EQ(a.counter_value("only_b"), 4.0);   // new series appear
+  EXPECT_DOUBLE_EQ(a.gauge_value("g"), 9.0);          // gauges overwrite
+  ASSERT_NE(a.find_histogram("h"), nullptr);
+  EXPECT_EQ(a.find_histogram("h")->summary().count(), 2u);  // histograms merge
+}
+
+TEST(Metrics, ToJsonCarriesQuantiles) {
+  obs::MetricsRegistry m;
+  m.counter("n", {{"k", "v"}}).inc(2);
+  m.gauge("r").set(0.25);
+  sim::Histogram& h = m.histogram("lat", 0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  Json j = m.to_json();
+  ASSERT_NE(j.find("counters"), nullptr);
+  ASSERT_NE(j.find("gauges"), nullptr);
+  ASSERT_NE(j.find("histograms"), nullptr);
+  const Json& hist = j.find("histograms")->items().at(0);
+  EXPECT_EQ(hist.find("count")->as_int(), 100);
+  EXPECT_DOUBLE_EQ(hist.find("p50")->as_double(), 50.0);
+  EXPECT_NEAR(hist.find("p95")->as_double(), 95.0, 1.0);
+  EXPECT_NEAR(hist.find("p99")->as_double(), 99.0, 1.0);
+}
+
+// ---- Chrome trace ----------------------------------------------------------
+
+TEST(ChromeTrace, EmittedJsonParsesBack) {
+  sim::Tracer t(true);
+  t.record("node1.gpu0/h2d", "copyA", sim::micros(0), sim::micros(10));
+  t.record("node1.gpu0/kernel", "k", sim::micros(5), sim::micros(25));
+  t.record("node0/egress", "shuffle", sim::micros(10), sim::micros(30));
+  t.record("loose_lane", "x", sim::micros(0), sim::micros(1));
+
+  obs::MetricsRegistry m;
+  m.counter("net.bytes").inc(4096);
+
+  const std::string doc = obs::chrome_trace_json(t, &m, sim::micros(40));
+  auto parsed = Json::parse(doc);
+  ASSERT_TRUE(parsed.has_value()) << doc;
+
+  const Json* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int meta = 0, complete = 0, counter = 0;
+  for (const Json& e : events->items()) {
+    const std::string ph = e.find("ph")->as_string();
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph == "M") {
+      ++meta;
+      const std::string name = e.find("name")->as_string();
+      EXPECT_TRUE(name == "process_name" || name == "thread_name");
+    } else if (ph == "X") {
+      ++complete;
+      EXPECT_GE(e.find("dur")->as_double(), 0.0);
+      ASSERT_NE(e.find("ts"), nullptr);
+    } else if (ph == "C") {
+      ++counter;
+      EXPECT_DOUBLE_EQ(e.find("args")->find("value")->as_double(), 4096.0);
+    } else {
+      FAIL() << "unexpected event phase " << ph;
+    }
+  }
+  // 3 processes (node1.gpu0, node0, sim) + 4 threads of metadata; then the
+  // 4 spans and 1 counter sample.
+  EXPECT_EQ(meta, 3 + 4);
+  EXPECT_EQ(complete, 4);
+  EXPECT_EQ(counter, 1);
+
+  // The kernel span keeps its microsecond timing through the export.
+  bool found_kernel = false;
+  for (const Json& e : events->items()) {
+    if (e.find("ph")->as_string() == "X" && e.find("name")->as_string() == "k") {
+      found_kernel = true;
+      EXPECT_DOUBLE_EQ(e.find("ts")->as_double(), 5.0);
+      EXPECT_DOUBLE_EQ(e.find("dur")->as_double(), 20.0);
+    }
+  }
+  EXPECT_TRUE(found_kernel);
+
+  // Utilization rollup rides along and is keyed by lane.
+  const Json* util = parsed->find("laneUtilization");
+  ASSERT_NE(util, nullptr);
+  const Json* kernel_lane = util->find("node1.gpu0/kernel");
+  ASSERT_NE(kernel_lane, nullptr);
+  EXPECT_EQ(kernel_lane->find("busy_ns")->as_int(), sim::micros(20));
+  EXPECT_DOUBLE_EQ(kernel_lane->find("utilization")->as_double(), 0.5);
+}
+
+TEST(ChromeTrace, LaneUtilizationUnionsOverlaps) {
+  sim::Tracer t(true);
+  // Overlapping spans on one lane: busy time is the union, not the sum
+  // (mirrors sim::Tracer::busy_time's span-merge semantics).
+  t.record("l", "a", 0, 100);
+  t.record("l", "b", 50, 150);
+  t.record("l", "c", 300, 400);
+  auto util = obs::lane_utilization(t, 400);
+  ASSERT_EQ(util.count("l"), 1u);
+  EXPECT_EQ(util["l"].busy_ns, 250);
+  EXPECT_EQ(util["l"].spans, 3u);
+  EXPECT_DOUBLE_EQ(util["l"].utilization, 250.0 / 400.0);
+}
+
+// ---- RunReport -------------------------------------------------------------
+
+TEST(RunReport, ToJsonCarriesHeadlineKeys) {
+  obs::RunReport rep;
+  rep.name = "unit";
+  rep.set_config("workers", Json(4));
+  rep.virtual_ns = sim::seconds(2);
+  rep.metrics.counter("gpu_cache_hits_total").inc(3);
+  rep.metrics.counter("gpu_cache_misses_total").inc(1);
+  rep.metrics.counter("gstream_locality_hits_total").inc(1);
+  rep.metrics.counter("gstream_locality_misses_total").inc(3);
+  obs::add_derived_gflink_metrics(rep.metrics);
+
+  EXPECT_DOUBLE_EQ(rep.metrics.gauge_value("cache_hit_ratio"), 0.75);
+  EXPECT_DOUBLE_EQ(rep.metrics.gauge_value("locality_hit_ratio"), 0.25);
+
+  Json j = rep.to_json();
+  EXPECT_EQ(j.find("schema")->as_string(), "gflink.run_report/v1");
+  EXPECT_EQ(j.find("name")->as_string(), "unit");
+  EXPECT_EQ(j.find("config")->find("workers")->as_int(), 4);
+  EXPECT_DOUBLE_EQ(j.find("virtual_seconds")->as_double(), 2.0);
+  ASSERT_NE(j.find("metrics"), nullptr);
+
+  // The acceptance keys must exist even in a run that never touched GPUs:
+  // the three stage counters and both ratio gauges.
+  const Json* counters = j.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  int stage_keys = 0;
+  for (const Json& c : counters->items()) {
+    if (c.find("name")->as_string() == "gpu_stage_busy_ns") ++stage_keys;
+  }
+  EXPECT_EQ(stage_keys, 3);
+
+  // And the whole document survives a parse round-trip.
+  auto parsed = Json::parse(j.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("name")->as_string(), "unit");
+}
+
+TEST(RunReport, DerivedMetricsHandleEmptyRegistry) {
+  obs::MetricsRegistry m;
+  obs::add_derived_gflink_metrics(m);
+  EXPECT_DOUBLE_EQ(m.gauge_value("cache_hit_ratio"), 0.0);
+  EXPECT_DOUBLE_EQ(m.gauge_value("locality_hit_ratio"), 0.0);
+  EXPECT_DOUBLE_EQ((m.counter_value("gpu_stage_busy_ns", {{"stage", "kernel"}})), 0.0);
+}

@@ -2,6 +2,7 @@
 // coroutine tasks, and synchronization primitives.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -402,18 +403,41 @@ TEST(Stats, SummaryAndHistogram) {
   EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
 }
 
-TEST(Stats, MetricRegistry) {
-  sim::MetricRegistry m;
-  m.inc("jobs");
-  m.inc("jobs");
-  m.inc("bytes", 1024);
-  EXPECT_DOUBLE_EQ(m.counter("jobs"), 2.0);
-  EXPECT_DOUBLE_EQ(m.counter("bytes"), 1024.0);
-  EXPECT_DOUBLE_EQ(m.counter("missing"), 0.0);
-  m.observe("latency", 5.0);
-  m.observe("latency", 15.0);
-  ASSERT_NE(m.summary("latency"), nullptr);
-  EXPECT_DOUBLE_EQ(m.summary("latency")->mean(), 10.0);
+TEST(Stats, HistogramQuantilesAndEdges) {
+  sim::Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);  // nearest-rank: first sample's bucket
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.0);
+
+  // A value epsilon below hi must not be misrouted to overflow by FP
+  // rounding, and hi itself must land in overflow.
+  sim::Histogram edge(0.0, 0.3, 3);
+  edge.add(std::nextafter(0.3, 0.0));
+  EXPECT_EQ(edge.bucket(edge.buckets() - 1), 0u);
+  edge.add(0.3);
+  EXPECT_EQ(edge.bucket(edge.buckets() - 1), 1u);
+
+  // All-underflow / all-overflow histograms still report exact bounds.
+  sim::Histogram out(10.0, 20.0, 4);
+  out.add(1.0);
+  out.add(2.0);
+  EXPECT_DOUBLE_EQ(out.quantile(0.5), 1.0);
+  out.add(99.0);
+  EXPECT_DOUBLE_EQ(out.quantile(1.0), 99.0);
+}
+
+TEST(Stats, HistogramMerge) {
+  sim::Histogram a(0.0, 10.0, 5);
+  sim::Histogram b(0.0, 10.0, 5);
+  for (int i = 0; i < 5; ++i) a.add(static_cast<double>(i));
+  for (int i = 5; i < 10; ++i) b.add(static_cast<double>(i));
+  a.merge(b);
+  EXPECT_EQ(a.summary().count(), 10u);
+  EXPECT_DOUBLE_EQ(a.summary().min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.summary().max(), 9.0);
+  EXPECT_NEAR(a.quantile(0.5), 5.0, 1.0);
 }
 
 TEST(Tracer, RecordsAndQueriesLanes) {

@@ -10,10 +10,14 @@
 //
 // Sizes are full-scale units per workload: millions of records (kmeans,
 // linreg, pagerank, concomp, pointadd) or GB (spmv, wordcount).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/run_report.hpp"
 #include "workloads/concomp.hpp"
 #include "workloads/kmeans.hpp"
 #include "workloads/linreg.hpp"
@@ -24,6 +28,7 @@
 
 namespace df = gflink::dataflow;
 namespace core = gflink::core;
+namespace obs = gflink::obs;
 namespace sim = gflink::sim;
 namespace wl = gflink::workloads;
 
@@ -37,7 +42,14 @@ struct Options {
   int iterations = 0;
   bool cache = true;
   bool help = false;
+  std::string trace_out;   // Chrome/Perfetto trace JSON destination
+  std::string report_out;  // run-report JSON destination
 };
+
+// Observability accumulation across the tool's runs (both modes feed one
+// report; the trace comes from the last traced engine).
+obs::RunReport g_report;
+std::string g_trace_json;
 
 void print_usage() {
   std::printf(
@@ -56,7 +68,9 @@ void print_usage() {
       "  --scale X                simulation scale factor (default 1e-3)\n"
       "  --streams N              CUDA streams per GPU (default 4)\n"
       "  --scheduling P           locality | roundrobin | random\n"
-      "  --no-cache               disable the GPU cache scheme (spmv)\n");
+      "  --no-cache               disable the GPU cache scheme (spmv)\n"
+      "  --trace-out FILE         write a Chrome/Perfetto trace JSON of the run\n"
+      "  --report-out FILE        write a machine-readable run report JSON\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -128,6 +142,14 @@ bool parse(int argc, char** argv, Options& opt) {
       }
     } else if (arg == "--no-cache") {
       opt.cache = false;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (!v) return false;
+      opt.trace_out = v;
+    } else if (arg == "--report-out") {
+      const char* v = value();
+      if (!v) return false;
+      opt.report_out = v;
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
@@ -153,6 +175,15 @@ wl::RunResult run_driver(sim::Co<ResultT> (*driver)(df::Engine&, core::GFlinkRun
   engine.run([&](df::Engine& eng) -> sim::Co<void> {
     result = co_await driver(eng, runtime.get(), opt.testbed, mode, cfg);
   });
+  // Capture observability state before the engine is torn down.
+  g_report.virtual_ns += engine.now();
+  engine.export_metrics(g_report.metrics);
+  if (runtime) runtime->export_metrics(g_report.metrics);
+  if (!opt.trace_out.empty()) {
+    const sim::Tracer& tracer = engine.cluster().tracer();
+    g_trace_json = obs::chrome_trace_json(tracer, &engine.cluster().metrics(), engine.now());
+    g_report.capture_lanes(tracer, engine.now());
+  }
   return result.run;
 }
 
@@ -180,6 +211,7 @@ void report(const Options& opt, wl::Mode mode, const wl::RunResult& run) {
 }
 
 int run_workload(const Options& opt) {
+  const auto wall_begin = std::chrono::steady_clock::now();
   std::vector<wl::Mode> to_run;
   if (opt.mode == "cpu") to_run = {wl::Mode::Cpu};
   else if (opt.mode == "gflink") to_run = {wl::Mode::Gpu};
@@ -237,6 +269,33 @@ int run_workload(const Options& opt) {
   if (totals.size() == 2 && totals[1] > 0) {
     std::printf("\nspeedup (GFlink over Flink): %.2fx\n", totals[0] / totals[1]);
   }
+
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out, std::ios::binary);
+    if (!out || !(out << g_trace_json)) {
+      std::fprintf(stderr, "error: could not write trace to %s\n", opt.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace written: %s (load in ui.perfetto.dev or chrome://tracing)\n",
+                opt.trace_out.c_str());
+  }
+  if (!opt.report_out.empty()) {
+    g_report.name = opt.workload;
+    g_report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin).count();
+    g_report.set_config("workload", obs::Json(opt.workload));
+    g_report.set_config("mode", obs::Json(opt.mode));
+    g_report.set_config("workers", obs::Json(opt.testbed.workers));
+    g_report.set_config("gpus_per_worker", obs::Json(opt.testbed.gpus_per_worker));
+    g_report.set_config("gpu", obs::Json(opt.testbed.gpu_spec.name));
+    g_report.set_config("scale", obs::Json(opt.testbed.scale));
+    obs::add_derived_gflink_metrics(g_report.metrics);
+    if (!g_report.write(opt.report_out)) {
+      std::fprintf(stderr, "error: could not write report to %s\n", opt.report_out.c_str());
+      return 1;
+    }
+    std::printf("run report written: %s\n", opt.report_out.c_str());
+  }
   return 0;
 }
 
@@ -252,6 +311,9 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
+  // Tracing costs memory proportional to the span count; enable it only
+  // when a trace was requested.
+  if (!opt.trace_out.empty()) opt.testbed.trace = true;
   std::printf("gflink_sim: %s on %d workers x %d %s, scale %.0e", opt.workload.c_str(),
               opt.testbed.workers, opt.testbed.gpus_per_worker, opt.testbed.gpu_spec.name.c_str(),
               opt.testbed.scale);
