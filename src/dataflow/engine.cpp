@@ -3,18 +3,9 @@
 #include <map>
 #include <unordered_map>
 
-#include "sim/random.hpp"
-
 namespace gflink::dataflow {
 
 namespace {
-
-/// Spread shuffle keys over target partitions. The raw key is often a small
-/// integer (word id, page id), so mix it first.
-int target_partition(std::uint64_t key, int partitions) {
-  std::uint64_t s = key;
-  return static_cast<int>(sim::splitmix64(s) % static_cast<std::uint64_t>(partitions));
-}
 
 /// Rounds of a binomial distribution/combining tree over `receivers` nodes.
 int tree_rounds(int receivers) {
@@ -59,6 +50,8 @@ void Job::finish() { stats_.finished_at = engine_->now(); }
 
 Engine::Engine(const EngineConfig& config)
     : config_(config), cluster_(sim_, config.cluster), dfs_(cluster_, config.dfs),
+      shuffle_(sim_, cluster_, dfs_, config.shuffle,
+               [this](int t) { return owner_of_partition(t); }),
       default_parallelism_(0) {
   cluster_.tracer().set_enabled(config.trace);
   const int slots = config_.slots_per_worker > 0 ? config_.slots_per_worker
@@ -298,7 +291,8 @@ mem::RecordBatch Engine::combine_by_key(const OpNode& reduce, const mem::RecordB
 
 sim::Co<void> Engine::stage_task(Job& job, const Stage& stage, int part_index,
                                  const MaterializedDataSet::Part& in, MaterializedDataSet& out,
-                                 Exchange* exchange, int out_partitions, StageStat& stat) {
+                                 shuffle::ShuffleSession* exchange, int out_partitions,
+                                 StageStat& stat) {
   const int worker = in.worker;
   if (!worker_alive(worker)) throw TaskFailed{worker};
   co_await cluster_.message(0, worker);  // task deployment RPC
@@ -335,32 +329,15 @@ sim::Co<void> Engine::stage_task(Job& job, const Stage& stage, int part_index,
     co_await terminal->async_fn(ctx, *batch, *result);
     out.parts[static_cast<std::size_t>(part_index)] = {worker, std::move(result)};
   } else if (terminal->kind == OpKind::ReduceByKey) {
-    mem::RecordBatch combined = combine_by_key(*terminal, *batch);
-    // Failure point: nothing has been deposited into the exchange yet, so
+    // Map-side combine + bucketing in one pass over the input records.
+    std::vector<mem::RecordBatch> buckets = exchange->partition(
+        *batch, terminal->out_desc, terminal->key_fn, &terminal->combine_fn);
+    // Failure point: nothing has been sent through the exchange yet, so
     // a retry of this task is idempotent.
     co_await work_delay(worker, static_cast<sim::Duration>(batch->count()) *
                                     node.record_time(terminal->cost.flops,
                                                      terminal->cost.bytes));
-    // Partition the combined records into target buckets.
-    std::vector<mem::RecordBatch> buckets;
-    buckets.reserve(static_cast<std::size_t>(out_partitions));
-    for (int t = 0; t < out_partitions; ++t) buckets.emplace_back(terminal->out_desc);
-    for (std::size_t i = 0; i < combined.count(); ++i) {
-      const std::byte* rec = combined.record_ptr(i);
-      buckets[static_cast<std::size_t>(target_partition(terminal->key_fn(rec), out_partitions))]
-          .append_raw(rec);
-    }
-    for (int t = 0; t < out_partitions; ++t) {
-      auto& bucket = buckets[static_cast<std::size_t>(t)];
-      if (bucket.empty()) continue;
-      const int dst = owner_of_partition(t);
-      if (dst != worker) {
-        const std::uint64_t bytes = bucket.byte_size();
-        co_await cluster_.transfer(worker, dst, bytes, "shuffle");
-        stat.shuffle_bytes += bytes;
-      }
-      exchange->buckets[static_cast<std::size_t>(t)].push_back(std::move(bucket));
-    }
+    co_await exchange->send(worker, std::move(buckets));
   } else if (terminal->kind == OpKind::GroupReduce) {
     // No map-side combine (the group function need not be associative):
     // ship raw records, keyed. Cost: key extraction + serialization-free
@@ -369,33 +346,21 @@ sim::Co<void> Engine::stage_task(Job& job, const Stage& stage, int part_index,
                                     node.record_time(terminal->cost.flops,
                                                      static_cast<double>(
                                                          batch->desc().stride())));
-    std::vector<mem::RecordBatch> buckets;
-    buckets.reserve(static_cast<std::size_t>(out_partitions));
-    for (int t = 0; t < out_partitions; ++t) buckets.emplace_back(&batch->desc());
-    for (std::size_t i = 0; i < batch->count(); ++i) {
-      const std::byte* rec = batch->record_ptr(i);
-      buckets[static_cast<std::size_t>(target_partition(terminal->key_fn(rec), out_partitions))]
-          .append_raw(rec);
-    }
-    for (int t = 0; t < out_partitions; ++t) {
-      auto& bucket = buckets[static_cast<std::size_t>(t)];
-      if (bucket.empty()) continue;
-      const int dst = owner_of_partition(t);
-      if (dst != worker) {
-        const std::uint64_t bytes = bucket.byte_size();
-        co_await cluster_.transfer(worker, dst, bytes, "shuffle");
-        stat.shuffle_bytes += bytes;
-      }
-      exchange->buckets[static_cast<std::size_t>(t)].push_back(std::move(bucket));
-    }
+    std::vector<mem::RecordBatch> buckets =
+        exchange->partition(*batch, &batch->desc(), terminal->key_fn, nullptr);
+    co_await exchange->send(worker, std::move(buckets));
   } else if (terminal->kind == OpKind::Rebalance) {
     co_await sim_.delay(static_cast<sim::Duration>(batch->count()) *
                         node.record_time(2.0, static_cast<double>(batch->desc().stride())));
+    std::vector<mem::RecordBatch> buckets;
+    buckets.reserve(static_cast<std::size_t>(out_partitions));
+    for (int t = 0; t < out_partitions; ++t) buckets.emplace_back(terminal->out_desc);
     for (std::size_t i = 0; i < batch->count(); ++i) {
-      const int t = static_cast<int>(i) % out_partitions;
-      auto& vec = exchange->buckets[static_cast<std::size_t>(t)];
-      if (vec.empty()) vec.emplace_back(terminal->out_desc);
-      vec.front().append_raw(batch->record_ptr(i));
+      buckets[i % static_cast<std::size_t>(out_partitions)].append_raw(batch->record_ptr(i));
+    }
+    for (int t = 0; t < out_partitions; ++t) {
+      auto& bucket = buckets[static_cast<std::size_t>(t)];
+      if (!bucket.empty()) exchange->deposit_local(t, std::move(bucket));
     }
     // Rebalance transfers are charged in the merge step (receiver side
     // cannot know sizes until all tasks deposited).
@@ -407,6 +372,20 @@ sim::Co<void> Engine::stage_task(Job& job, const Stage& stage, int part_index,
     throw;
   }
 
+  w.slots().release();
+}
+
+sim::Co<void> Engine::scatter_partition(const MaterializedDataSet::Part& part, const KeyFn& key,
+                                        shuffle::ShuffleSession& session) {
+  Worker& w = worker_state(part.worker);
+  co_await w.slots().acquire();
+  std::vector<mem::RecordBatch> buckets =
+      session.partition(*part.batch, &part.batch->desc(), key, nullptr);
+  // Cost: key extraction + serialization-free bucketing per record.
+  co_await sim_.delay(static_cast<sim::Duration>(part.batch->count()) *
+                      cluster_.node(part.worker).record_time(
+                          16.0, static_cast<double>(part.batch->desc().stride())));
+  co_await session.send(part.worker, std::move(buckets));
   w.slots().release();
 }
 
@@ -431,8 +410,10 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
   out->desc = stage.out_desc != nullptr ? stage.out_desc : input->desc;
   out->parts.resize(static_cast<std::size_t>(out_partitions));
 
-  Exchange exchange;
-  if (shuffles) exchange.buckets.resize(static_cast<std::size_t>(out_partitions));
+  std::unique_ptr<shuffle::ShuffleSession> exchange;
+  if (shuffles) {
+    exchange = std::make_unique<shuffle::ShuffleSession>(shuffle_, out_partitions, "shuffle");
+  }
 
   co_await sim_.delay(config_.stage_schedule_overhead);
   // Run a wave of tasks; workers that die mid-task surface as failed
@@ -449,8 +430,9 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
     for (auto& [index, part] : pending) {
       wg.add();
       sim_.spawn([](Engine& eng, Job& jb, const Stage& st, int idx,
-                    MaterializedDataSet::Part part_in, MaterializedDataSet& result, Exchange* ex,
-                    int nparts, StageStat& ss, std::shared_ptr<std::vector<int>> fails,
+                    MaterializedDataSet::Part part_in, MaterializedDataSet& result,
+                    shuffle::ShuffleSession* ex, int nparts, StageStat& ss,
+                    std::shared_ptr<std::vector<int>> fails,
                     sim::WaitGroup& join) -> sim::Co<void> {
         try {
           co_await eng.stage_task(jb, st, idx, part_in, result, ex, nparts, ss);
@@ -459,7 +441,7 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
           fails->push_back(idx);
         }
         join.done();
-      }(*this, job, stage, index, part, *out, shuffles ? &exchange : nullptr, out_partitions,
+      }(*this, job, stage, index, part, *out, exchange.get(), out_partitions,
         stat, failed, wg));
     }
     co_await wg.wait();
@@ -477,17 +459,23 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
   }
 
   if (shuffles) {
+    // Drain in-flight pipelined sends before any receiver starts merging,
+    // then account the stage's network traffic in one place (the session).
+    co_await exchange->finish();
+    stat.shuffle_bytes = exchange->network_bytes();
     // Merge deposited buckets on their target workers.
     sim::WaitGroup merge_wg(sim_);
     for (int t = 0; t < out_partitions; ++t) {
       merge_wg.add();
-      sim_.spawn([](Engine& eng, const Stage& st, Exchange& ex, MaterializedDataSet& result,
-                    int t_index, StageStat& ss, sim::WaitGroup& join) -> sim::Co<void> {
+      sim_.spawn([](Engine& eng, const Stage& st, shuffle::ShuffleSession& ex,
+                    MaterializedDataSet& result, int t_index, StageStat& ss,
+                    sim::WaitGroup& join) -> sim::Co<void> {
         const int node = eng.owner_of_partition(t_index);
         Worker& w = eng.worker_state(node);
         co_await w.slots().acquire();
         const OpNode* term = st.terminal;
-        auto& deposited = ex.buckets[static_cast<std::size_t>(t_index)];
+        // Reads spilled deposits back from the DFS before merging.
+        std::vector<mem::RecordBatch> deposited = co_await ex.take(t_index, node);
         std::uint64_t n = 0;
         for (const auto& b : deposited) n += b.count();
         auto merged = std::make_shared<mem::RecordBatch>(term->out_desc);
@@ -529,7 +517,7 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
         w.slots().release();
         (void)ss;
         join.done();
-      }(*this, stage, exchange, *out, t, stat, merge_wg));
+      }(*this, stage, *exchange, *out, t, stat, merge_wg));
     }
     co_await merge_wg.wait();
   }
@@ -627,47 +615,26 @@ sim::Co<DataHandle> Engine::join(Job& job, const DataHandle& left, const DataHan
   co_await sim_.delay(config_.stage_schedule_overhead);
 
   // Phase 1: co-partition both inputs by key hash.
-  Exchange lex, rex;
-  lex.buckets.resize(static_cast<std::size_t>(nparts));
-  rex.buckets.resize(static_cast<std::size_t>(nparts));
+  shuffle::ShuffleSession lex(shuffle_, nparts, "join-shuffle");
+  shuffle::ShuffleSession rex(shuffle_, nparts, "join-shuffle");
   sim::WaitGroup wg(sim_);
-  auto scatter = [&](const DataHandle& side, const KeyFn& key, Exchange& ex) {
+  auto scatter = [&](const DataHandle& side, const KeyFn& key, shuffle::ShuffleSession& ex) {
     for (const auto& part : side->parts) {
       if (!part.batch) continue;
       wg.add();
       sim_.spawn([](Engine& eng, const MaterializedDataSet::Part& p, const KeyFn& kf,
-                    Exchange& e, int np, StageStat& ss, sim::WaitGroup& join) -> sim::Co<void> {
-        Worker& w = eng.worker_state(p.worker);
-        co_await w.slots().acquire();
-        std::vector<mem::RecordBatch> buckets;
-        for (int t = 0; t < np; ++t) buckets.emplace_back(&p.batch->desc());
-        for (std::size_t i = 0; i < p.batch->count(); ++i) {
-          const std::byte* rec = p.batch->record_ptr(i);
-          buckets[static_cast<std::size_t>(target_partition(kf(rec), np))].append_raw(rec);
-        }
-        co_await eng.sim().delay(
-            static_cast<sim::Duration>(p.batch->count()) *
-            eng.cluster().node(p.worker).record_time(
-                16.0, static_cast<double>(p.batch->desc().stride())));
-        for (int t = 0; t < np; ++t) {
-          auto& b = buckets[static_cast<std::size_t>(t)];
-          if (b.empty()) continue;
-          const int dst = eng.owner_of_partition(t);
-          if (dst != p.worker) {
-            const std::uint64_t bytes = b.byte_size();
-            co_await eng.cluster().transfer(p.worker, dst, bytes, "join-shuffle");
-            ss.shuffle_bytes += bytes;
-          }
-          e.buckets[static_cast<std::size_t>(t)].push_back(std::move(b));
-        }
-        w.slots().release();
+                    shuffle::ShuffleSession& e, sim::WaitGroup& join) -> sim::Co<void> {
+        co_await eng.scatter_partition(p, kf, e);
         join.done();
-      }(*this, part, key, ex, nparts, stat, wg));
+      }(*this, part, key, ex, wg));
     }
   };
   scatter(left, left_key, lex);
   scatter(right, right_key, rex);
   co_await wg.wait();
+  co_await lex.finish();
+  co_await rex.finish();
+  stat.shuffle_bytes = lex.network_bytes() + rex.network_bytes();
 
   // Phase 2: per-partition hash join (build on left, probe with right).
   auto out = std::make_shared<MaterializedDataSet>();
@@ -676,14 +643,15 @@ sim::Co<DataHandle> Engine::join(Job& job, const DataHandle& left, const DataHan
   sim::WaitGroup jg(sim_);
   for (int t = 0; t < nparts; ++t) {
     jg.add();
-    sim_.spawn([](Engine& eng, Exchange& le, Exchange& re, MaterializedDataSet& result,
-                  const KeyFn& lk, const KeyFn& rk, const JoinFn& jf, OpCost c, int t_index,
+    sim_.spawn([](Engine& eng, shuffle::ShuffleSession& le, shuffle::ShuffleSession& re,
+                  MaterializedDataSet& result, const KeyFn& lk, const KeyFn& rk,
+                  const JoinFn& jf, OpCost c, int t_index,
                   sim::WaitGroup& join) -> sim::Co<void> {
       const int node = eng.owner_of_partition(t_index);
       Worker& w = eng.worker_state(node);
       co_await w.slots().acquire();
-      auto& lbs = le.buckets[static_cast<std::size_t>(t_index)];
-      auto& rbs = re.buckets[static_cast<std::size_t>(t_index)];
+      std::vector<mem::RecordBatch> lbs = co_await le.take(t_index, node);
+      std::vector<mem::RecordBatch> rbs = co_await re.take(t_index, node);
       std::unordered_multimap<std::uint64_t, const std::byte*> table;
       std::uint64_t nl = 0, nr = 0;
       for (const auto& b : lbs) {
@@ -740,47 +708,26 @@ sim::Co<DataHandle> Engine::co_group(Job& job, const DataHandle& left,
   co_await sim_.delay(config_.stage_schedule_overhead);
 
   // Phase 1: co-partition both sides by key hash (same as join).
-  Exchange lex, rex;
-  lex.buckets.resize(static_cast<std::size_t>(nparts));
-  rex.buckets.resize(static_cast<std::size_t>(nparts));
+  shuffle::ShuffleSession lex(shuffle_, nparts, "cogroup-shuffle");
+  shuffle::ShuffleSession rex(shuffle_, nparts, "cogroup-shuffle");
   sim::WaitGroup wg(sim_);
-  auto scatter = [&](const DataHandle& side, const KeyFn& key, Exchange& ex) {
+  auto scatter = [&](const DataHandle& side, const KeyFn& key, shuffle::ShuffleSession& ex) {
     for (const auto& part : side->parts) {
       if (!part.batch) continue;
       wg.add();
       sim_.spawn([](Engine& eng, const MaterializedDataSet::Part& p, const KeyFn& kf,
-                    Exchange& e, int np, StageStat& ss, sim::WaitGroup& join) -> sim::Co<void> {
-        Worker& w = eng.worker_state(p.worker);
-        co_await w.slots().acquire();
-        std::vector<mem::RecordBatch> buckets;
-        for (int t = 0; t < np; ++t) buckets.emplace_back(&p.batch->desc());
-        for (std::size_t i = 0; i < p.batch->count(); ++i) {
-          const std::byte* rec = p.batch->record_ptr(i);
-          buckets[static_cast<std::size_t>(target_partition(kf(rec), np))].append_raw(rec);
-        }
-        co_await eng.sim().delay(
-            static_cast<sim::Duration>(p.batch->count()) *
-            eng.cluster().node(p.worker).record_time(
-                16.0, static_cast<double>(p.batch->desc().stride())));
-        for (int t = 0; t < np; ++t) {
-          auto& b = buckets[static_cast<std::size_t>(t)];
-          if (b.empty()) continue;
-          const int dst = eng.owner_of_partition(t);
-          if (dst != p.worker) {
-            const std::uint64_t bytes = b.byte_size();
-            co_await eng.cluster().transfer(p.worker, dst, bytes, "cogroup-shuffle");
-            ss.shuffle_bytes += bytes;
-          }
-          e.buckets[static_cast<std::size_t>(t)].push_back(std::move(b));
-        }
-        w.slots().release();
+                    shuffle::ShuffleSession& e, sim::WaitGroup& join) -> sim::Co<void> {
+        co_await eng.scatter_partition(p, kf, e);
         join.done();
-      }(*this, part, key, ex, nparts, stat, wg));
+      }(*this, part, key, ex, wg));
     }
   };
   scatter(left, left_key, lex);
   scatter(right, right_key, rex);
   co_await wg.wait();
+  co_await lex.finish();
+  co_await rex.finish();
+  stat.shuffle_bytes = lex.network_bytes() + rex.network_bytes();
 
   // Phase 2: per-partition grouping, then one group_fn call per key.
   auto out = std::make_shared<MaterializedDataSet>();
@@ -789,23 +736,26 @@ sim::Co<DataHandle> Engine::co_group(Job& job, const DataHandle& left,
   sim::WaitGroup gg(sim_);
   for (int t = 0; t < nparts; ++t) {
     gg.add();
-    sim_.spawn([](Engine& eng, Exchange& le, Exchange& re, MaterializedDataSet& result,
-                  const KeyFn& lk, const KeyFn& rk, const CoGroupFn& gf, OpCost c, int t_index,
+    sim_.spawn([](Engine& eng, shuffle::ShuffleSession& le, shuffle::ShuffleSession& re,
+                  MaterializedDataSet& result, const KeyFn& lk, const KeyFn& rk,
+                  const CoGroupFn& gf, OpCost c, int t_index,
                   sim::WaitGroup& join) -> sim::Co<void> {
       const int node = eng.owner_of_partition(t_index);
       Worker& w = eng.worker_state(node);
       co_await w.slots().acquire();
+      std::vector<mem::RecordBatch> lbs = co_await le.take(t_index, node);
+      std::vector<mem::RecordBatch> rbs = co_await re.take(t_index, node);
       std::map<std::uint64_t, std::pair<std::vector<const std::byte*>,
                                         std::vector<const std::byte*>>>
           groups;
       std::uint64_t n = 0;
-      for (const auto& b : le.buckets[static_cast<std::size_t>(t_index)]) {
+      for (const auto& b : lbs) {
         for (std::size_t i = 0; i < b.count(); ++i) {
           groups[lk(b.record_ptr(i))].first.push_back(b.record_ptr(i));
           ++n;
         }
       }
-      for (const auto& b : re.buckets[static_cast<std::size_t>(t_index)]) {
+      for (const auto& b : rbs) {
         for (std::size_t i = 0; i < b.count(); ++i) {
           groups[rk(b.record_ptr(i))].second.push_back(b.record_ptr(i));
           ++n;

@@ -5,7 +5,10 @@
 //  * JobManager on the master: job submission, stage scheduling, barriers;
 //  * TaskManager per worker: task slots (one per CPU core by default),
 //    paged memory budget, per-record iterator execution of operator chains;
-//  * hash shuffles over the cluster network with map-side combine;
+//  * hash shuffles routed through the shuffle::ShuffleService: map-side
+//    combine into per-target buckets, block-granular pipelined sends with
+//    per-partition credits (backpressure), spill-to-DFS over budget, and
+//    retry-with-backoff on injected transfer faults (see src/shuffle);
 //  * materialized in-memory datasets that persist across jobs (the
 //    "in-memory computing" substrate iterative workloads rely on);
 //  * DFS sources/sinks with locality-aware split assignment.
@@ -24,6 +27,7 @@
 #include "dfs/gdfs.hpp"
 #include "mem/memory_manager.hpp"
 #include "net/cluster.hpp"
+#include "shuffle/shuffle_service.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
 
@@ -51,6 +55,9 @@ struct EngineConfig {
   /// Time from a worker dying to the JobManager detecting it (heartbeat
   /// interval x missed-beat threshold — Flink's akka.watch defaults).
   sim::Duration failure_detection_delay = sim::millis(500);
+  /// The block-exchange layer behind every hash shuffle (pipelining,
+  /// credits, spill, retry) — see shuffle::ShuffleConfig.
+  shuffle::ShuffleConfig shuffle;
   bool trace = false;
 };
 
@@ -166,6 +173,9 @@ class Engine {
   sim::Simulation& sim() { return sim_; }
   net::Cluster& cluster() { return cluster_; }
   dfs::Gdfs& dfs() { return dfs_; }
+  /// The block-exchange service every shuffle in this engine runs through
+  /// (also the injection point for shuffle transfer faults in tests).
+  shuffle::ShuffleService& shuffle_service() { return shuffle_; }
   const EngineConfig& config() const { return config_; }
   sim::Time now() const { return sim_.now(); }
 
@@ -261,26 +271,27 @@ class Engine {
  private:
   friend class TaskContext;
 
-  // Exchange buffers for one shuffle: buckets[target_partition] holds the
-  // batches deposited for that partition.
-  struct Exchange {
-    std::vector<std::vector<mem::RecordBatch>> buckets;
-  };
-
   sim::Co<DataHandle> run_plan(Job& job, const PlanNodePtr& sink);
   sim::Co<DataHandle> run_source(Job& job, const SourceSpec& source);
   sim::Co<DataHandle> run_stage(Job& job, const Stage& stage, DataHandle input);
 
-  // One stage task over one partition. Returns buckets if the stage ends in
-  // a shuffle (deposited into `exchange`), else writes its output part.
+  // One stage task over one partition. If the stage ends in a shuffle, the
+  // task's buckets are sent through `exchange`; else it writes its output
+  // part directly.
   sim::Co<void> stage_task(Job& job, const Stage& stage, int part_index,
                            const MaterializedDataSet::Part& in,
-                           MaterializedDataSet& out, Exchange* exchange, int out_partitions,
-                           StageStat& stat);
+                           MaterializedDataSet& out, shuffle::ShuffleSession* exchange,
+                           int out_partitions, StageStat& stat);
 
   // Apply the record-op chain; returns the resulting batch and charges CPU.
   sim::Co<std::shared_ptr<mem::RecordBatch>> apply_record_ops(
       Job& job, const Stage& stage, int worker, std::shared_ptr<mem::RecordBatch> batch);
+
+  // Map side of join/coGroup co-partitioning: bucket one partition by key
+  // hash (charging the bucketing CPU) and ship the buckets through
+  // `session` — the single copy of the per-bucket send loop.
+  sim::Co<void> scatter_partition(const MaterializedDataSet::Part& part, const KeyFn& key,
+                                  shuffle::ShuffleSession& session);
 
   // Local combine of `batch` into per-key accumulators.
   static mem::RecordBatch combine_by_key(const OpNode& reduce, const mem::RecordBatch& batch);
@@ -299,6 +310,7 @@ class Engine {
   sim::Simulation sim_;
   net::Cluster cluster_;
   dfs::Gdfs dfs_;
+  shuffle::ShuffleService shuffle_;  // must follow sim_/cluster_/dfs_ (ctor order)
   std::vector<std::unique_ptr<Worker>> workers_;  // index 0 unused (master)
   int default_parallelism_;
   std::uint64_t next_job_id_ = 1;

@@ -1,0 +1,276 @@
+#include "shuffle/shuffle_service.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/random.hpp"
+
+namespace gflink::shuffle {
+
+namespace {
+
+/// Spread shuffle keys over target partitions. The raw key is often a small
+/// integer (word id, page id), so mix it first.
+int target_partition(std::uint64_t key, int partitions) {
+  std::uint64_t s = key;
+  return static_cast<int>(sim::splitmix64(s) % static_cast<std::uint64_t>(partitions));
+}
+
+}  // namespace
+
+// ---- ShuffleService --------------------------------------------------------
+
+ShuffleService::ShuffleService(sim::Simulation& sim, net::Cluster& cluster, dfs::Gdfs& dfs,
+                               ShuffleConfig config, OwnerFn owner)
+    : sim_(&sim), cluster_(&cluster), dfs_(&dfs), config_(std::move(config)),
+      owner_(std::move(owner)),
+      resident_(static_cast<std::size_t>(cluster.num_workers()) + 1, 0) {
+  GFLINK_CHECK(config_.credits_per_partition >= 1);
+  GFLINK_CHECK(config_.max_retries >= 0);
+}
+
+std::uint64_t ShuffleService::resident_bytes(int worker) const {
+  return resident_.at(static_cast<std::size_t>(worker));
+}
+
+void ShuffleService::add_resident(int worker, std::uint64_t bytes) {
+  resident_.at(static_cast<std::size_t>(worker)) += bytes;
+}
+
+void ShuffleService::sub_resident(int worker, std::uint64_t bytes) {
+  auto& r = resident_.at(static_cast<std::size_t>(worker));
+  GFLINK_CHECK_MSG(r >= bytes, "exchange resident-byte accounting went negative");
+  r -= bytes;
+}
+
+void ShuffleService::block_started() {
+  ++in_flight_;
+  max_in_flight_ = std::max(max_in_flight_, in_flight_);
+  metrics().gauge("shuffle_blocks_in_flight").set(static_cast<double>(in_flight_));
+}
+
+void ShuffleService::block_finished() {
+  --in_flight_;
+  metrics().gauge("shuffle_blocks_in_flight").set(static_cast<double>(in_flight_));
+}
+
+sim::Co<bool> ShuffleService::transfer_block(int src, int dst, std::uint64_t bytes,
+                                             const std::string& label) {
+  obs::MetricsRegistry& m = metrics();
+  for (int attempt = 0;; ++attempt) {
+    if (injected_faults_ > 0) {
+      --injected_faults_;
+      m.inc("shuffle.transfer_faults");
+      if (attempt >= config_.max_retries) {
+        m.inc("shuffle.transfer_aborts");
+        co_return false;
+      }
+      m.inc("shuffle.transfer_retries");
+      // Exponential backoff, capped so the shift cannot overflow.
+      const int shift = std::min(attempt, 10);
+      co_await sim_->delay(config_.retry_backoff << shift);
+      continue;
+    }
+    co_await cluster_->transfer(src, dst, bytes, label);
+    co_return true;
+  }
+}
+
+// ---- ShuffleSession --------------------------------------------------------
+
+ShuffleSession::ShuffleSession(ShuffleService& service, int out_partitions, std::string label)
+    : service_(&service), out_partitions_(out_partitions), label_(std::move(label)),
+      id_(service.next_session_id_++) {
+  GFLINK_CHECK(out_partitions_ >= 1);
+  buckets_.resize(static_cast<std::size_t>(out_partitions_));
+  credits_.reserve(static_cast<std::size_t>(out_partitions_));
+  for (int t = 0; t < out_partitions_; ++t) {
+    credits_.push_back(std::make_unique<sim::Semaphore>(
+        service_->sim(), service_->config().credits_per_partition));
+  }
+  service_->metrics().inc("shuffle.sessions");
+}
+
+ShuffleSession::~ShuffleSession() {
+  GFLINK_CHECK_MSG(in_flight_sends_ == 0, "shuffle session destroyed with in-flight sends");
+}
+
+std::vector<mem::RecordBatch> ShuffleSession::partition(const mem::RecordBatch& in,
+                                                        const mem::StructDesc* out_desc,
+                                                        const KeyFn& key,
+                                                        const CombineFn* combiner) const {
+  std::vector<mem::RecordBatch> buckets;
+  buckets.reserve(static_cast<std::size_t>(out_partitions_));
+  for (int t = 0; t < out_partitions_; ++t) buckets.emplace_back(out_desc);
+  if (combiner != nullptr) {
+    // Map-side combine: per-bucket accumulator slots keyed by the record
+    // key, preserving first-occurrence order (deterministic).
+    std::vector<std::unordered_map<std::uint64_t, std::size_t>> index(
+        static_cast<std::size_t>(out_partitions_));
+    for (std::size_t i = 0; i < in.count(); ++i) {
+      const std::byte* rec = in.record_ptr(i);
+      const std::uint64_t k = key(rec);
+      const auto t = static_cast<std::size_t>(target_partition(k, out_partitions_));
+      auto [it, inserted] = index[t].try_emplace(k, buckets[t].count());
+      if (inserted) {
+        buckets[t].append_raw(rec);
+      } else {
+        (*combiner)(buckets[t].record_ptr(it->second), rec);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < in.count(); ++i) {
+      const std::byte* rec = in.record_ptr(i);
+      buckets[static_cast<std::size_t>(target_partition(key(rec), out_partitions_))]
+          .append_raw(rec);
+    }
+  }
+  return buckets;
+}
+
+sim::Co<void> ShuffleSession::send(int src_worker, std::vector<mem::RecordBatch> buckets) {
+  GFLINK_CHECK(static_cast<int>(buckets.size()) == out_partitions_);
+  for (int t = 0; t < out_partitions_; ++t) {
+    auto& bucket = buckets[static_cast<std::size_t>(t)];
+    if (bucket.empty()) continue;
+    ++in_flight_sends_;
+    if (service_->config().pipelined) {
+      // Detach the bucket send: the caller's task slot frees while the NIC
+      // drains, and sends toward distinct receivers overlap each other.
+      service_->sim().spawn([](ShuffleSession& s, int src, int target,
+                               mem::RecordBatch b) -> sim::Co<void> {
+        co_await s.send_bucket(src, target, std::move(b));
+      }(*this, src_worker, t, std::move(bucket)));
+    } else {
+      co_await send_bucket(src_worker, t, std::move(bucket));
+    }
+  }
+}
+
+void ShuffleSession::deposit_local(int t, mem::RecordBatch bucket) {
+  buckets_[static_cast<std::size_t>(t)].push_back(Deposit{std::move(bucket)});
+}
+
+sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucket) {
+  const int dst = service_->owner_of(t);
+  const std::uint64_t bytes = bucket.byte_size();
+  obs::MetricsRegistry& m = service_->metrics();
+  const sim::Time begin = service_->sim().now();
+  bool ok = true;
+  if (dst != src && bytes > 0) {
+    network_bytes_ += bytes;
+    const std::uint64_t block = std::max<std::uint64_t>(1, service_->config().block_bytes);
+    sim::Semaphore& credit = *credits_[static_cast<std::size_t>(t)];
+    if (service_->config().pipelined) {
+      // Blocks of the bucket overlap each other (a block's egress runs
+      // while its predecessor drains the receiver's ingress), bounded by
+      // the credit window.
+      sim::WaitGroup blocks_done(service_->sim());
+      for (std::uint64_t off = 0; off < bytes; off += block) {
+        const std::uint64_t n = std::min(block, bytes - off);
+        if (!credit.try_acquire()) {
+          m.inc("shuffle.credit_stalls");
+          co_await credit.acquire();
+        }
+        service_->block_started();
+        blocks_done.add();
+        service_->sim().spawn([](ShuffleSession& s, sim::Semaphore& cr, int from, int to,
+                                 std::uint64_t nbytes, bool& all_ok,
+                                 sim::WaitGroup& join) -> sim::Co<void> {
+          const bool sent = co_await s.service_->transfer_block(from, to, nbytes, s.label_);
+          s.service_->block_finished();
+          cr.release();
+          if (sent) {
+            s.service_->metrics().inc("shuffle.blocks");
+            s.service_->metrics().inc("shuffle.bytes", static_cast<double>(nbytes));
+          } else {
+            all_ok = false;
+          }
+          join.done();
+        }(*this, credit, src, dst, n, ok, blocks_done));
+      }
+      co_await blocks_done.wait();
+    } else {
+      // Barrier mode: the sending task holds its slot and ships blocks
+      // back-to-back (the pre-ShuffleService behaviour).
+      std::uint64_t remaining = bytes;
+      while (remaining > 0 && ok) {
+        const std::uint64_t n = std::min(block, remaining);
+        if (!credit.try_acquire()) {
+          m.inc("shuffle.credit_stalls");
+          co_await credit.acquire();
+        }
+        service_->block_started();
+        ok = co_await service_->transfer_block(src, dst, n, label_);
+        service_->block_finished();
+        credit.release();
+        if (ok) {
+          m.inc("shuffle.blocks");
+          m.inc("shuffle.bytes", static_cast<double>(n));
+          remaining -= n;
+        }
+      }
+    }
+    sim::Tracer& tracer = service_->cluster().tracer();
+    if (tracer.enabled()) {
+      tracer.record("node" + std::to_string(src) + "/shuffle",
+                    label_ + " p" + std::to_string(t), begin, service_->sim().now());
+    }
+  }
+  if (ok) {
+    co_await deposit(t, dst, std::move(bucket));
+  } else {
+    ++aborted_blocks_;  // finish() turns this into a loud failure
+  }
+  if (--in_flight_sends_ == 0 && drained_) drained_->fire();
+}
+
+sim::Co<void> ShuffleSession::deposit(int t, int dst, mem::RecordBatch bucket) {
+  const ShuffleConfig& cfg = service_->config();
+  const std::uint64_t bytes = bucket.byte_size();
+  Deposit d{std::move(bucket)};
+  if (cfg.spill_enabled && bytes > 0 &&
+      service_->resident_bytes(dst) + bytes > cfg.receiver_budget_bytes) {
+    d.spilled = true;
+    d.spill_path = cfg.spill_dir + "/s" + std::to_string(id_) + "-p" + std::to_string(t) +
+                   "-" + std::to_string(next_spill_seq_++);
+    spilled_bytes_ += bytes;
+    obs::MetricsRegistry& m = service_->metrics();
+    m.inc("shuffle.spill_blocks");
+    m.inc("shuffle.spill_bytes", static_cast<double>(bytes));
+    co_await service_->dfs().write(dst, d.spill_path, bytes);
+  } else {
+    service_->add_resident(dst, bytes);
+    d.counted_resident = true;
+  }
+  buckets_[static_cast<std::size_t>(t)].push_back(std::move(d));
+}
+
+sim::Co<void> ShuffleSession::finish() {
+  if (in_flight_sends_ > 0) {
+    drained_ = std::make_unique<sim::Trigger>(service_->sim());
+    co_await drained_->wait();
+  }
+  GFLINK_CHECK_MSG(aborted_blocks_ == 0,
+                   "shuffle block transfer permanently failed after retries");
+}
+
+sim::Co<std::vector<mem::RecordBatch>> ShuffleSession::take(int t, int reader) {
+  auto& deposited = buckets_[static_cast<std::size_t>(t)];
+  std::vector<mem::RecordBatch> out;
+  out.reserve(deposited.size());
+  for (Deposit& d : deposited) {
+    const std::uint64_t bytes = d.batch.byte_size();
+    if (d.spilled) {
+      service_->metrics().inc("shuffle.unspill_bytes", static_cast<double>(bytes));
+      co_await service_->dfs().read_file(reader, d.spill_path);
+    } else if (d.counted_resident) {
+      service_->sub_resident(service_->owner_of(t), bytes);
+    }
+    out.push_back(std::move(d.batch));
+  }
+  deposited.clear();
+  co_return out;
+}
+
+}  // namespace gflink::shuffle

@@ -1,0 +1,195 @@
+// The pipelined shuffle subsystem (paper §4–§5: bulk block transfers that
+// overlap compute).
+//
+// A ShuffleService turns the engine's all-to-all exchanges into
+// block-granular, credit-controlled transfers over the cluster NIC pipes:
+//
+//  * senders bucket records by key hash (with optional map-side combine,
+//    performed on the raw GStruct bytes — no serialization boundary);
+//  * each bucket is cut into fixed-size blocks; every block acquires one
+//    in-flight credit for its target partition before it may enter the
+//    network, so a slow receiver throttles its senders (backpressure)
+//    instead of accumulating unbounded buffers;
+//  * in pipelined mode block sends are detached coroutines: the task slot
+//    is released while the NIC drains, so network transfer overlaps the
+//    downstream partition compute instead of running as a per-task barrier;
+//  * a receiver whose exchange buffer exceeds its byte budget spills
+//    deposited buckets to the DFS and reads them back at merge time;
+//  * injected transfer faults (the hook the fault framework of
+//    tests/test_fault.cpp uses) are retried with exponential backoff.
+//
+// One ShuffleSession is one exchange: `partition` + `send` on the map side,
+// `finish` as the stage barrier, `take` on the reduce side. The service is
+// long-lived (one per Engine) and owns the config, metrics and fault hooks
+// shared by all sessions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfs/gdfs.hpp"
+#include "mem/record_batch.hpp"
+#include "net/cluster.hpp"
+#include "sim/sync.hpp"
+
+namespace gflink::shuffle {
+
+/// Key extraction over raw record bytes (same signature as the dataflow
+/// layer's KeyFn; duplicated here so shuffle does not depend on dataflow).
+using KeyFn = std::function<std::uint64_t(const std::byte*)>;
+/// In-place associative combine: fold `record` into `accumulator`.
+using CombineFn = std::function<void(std::byte*, const std::byte*)>;
+
+struct ShuffleConfig {
+  /// Granularity of network sends. Buckets larger than this are cut into
+  /// multiple blocks whose transfers pipeline through the NIC pipes.
+  std::uint64_t block_bytes = 256 * 1024;
+  /// In-flight blocks allowed per target partition before senders stall
+  /// (the credit window).
+  int credits_per_partition = 4;
+  /// Per-receiver exchange-buffer budget. Deposits beyond this spill to the
+  /// DFS (when `spill_enabled`) and are read back at merge time.
+  std::uint64_t receiver_budget_bytes = 1ULL << 30;
+  /// Detached (pipelined) block sends overlap downstream compute; disabled
+  /// they run as a barrier inside the sending task (the pre-ShuffleService
+  /// behaviour, kept as the ablation baseline).
+  bool pipelined = true;
+  bool spill_enabled = true;
+  /// Retry budget for injected transfer faults. A block send that faults
+  /// more than `max_retries` times aborts the shuffle (checked loudly at
+  /// finish()).
+  int max_retries = 4;
+  /// Base backoff before the first retry; doubles per attempt.
+  sim::Duration retry_backoff = sim::millis(2);
+  /// DFS directory spilled buckets are written under.
+  std::string spill_dir = "/shuffle/spill";
+};
+
+class ShuffleService;
+
+/// One all-to-all exchange: `out_partitions` target buckets, each owned by
+/// the worker `owner(t)` says. Sessions are created per shuffling stage and
+/// must outlive their in-flight sends (await finish() before destruction).
+class ShuffleSession {
+ public:
+  ShuffleSession(ShuffleService& service, int out_partitions, std::string label);
+  ShuffleSession(const ShuffleSession&) = delete;
+  ShuffleSession& operator=(const ShuffleSession&) = delete;
+  ~ShuffleSession();
+
+  int out_partitions() const { return out_partitions_; }
+  const std::string& label() const { return label_; }
+
+  /// Bucket `in` into out_partitions() batches by key hash. When `combiner`
+  /// is non-null, records sharing a key are folded together first (map-side
+  /// combine); the result preserves first-occurrence order, so it is
+  /// deterministic for a given input order.
+  std::vector<mem::RecordBatch> partition(const mem::RecordBatch& in,
+                                          const mem::StructDesc* out_desc, const KeyFn& key,
+                                          const CombineFn* combiner) const;
+
+  /// Ship every non-empty bucket from `src_worker` toward its target
+  /// partition's owner. Pipelined mode returns once the sends are detached;
+  /// barrier mode awaits every transfer. Bytes that cross the network are
+  /// accounted here — and only here (see network_bytes()).
+  sim::Co<void> send(int src_worker, std::vector<mem::RecordBatch> buckets);
+
+  /// Deposit a bucket for partition `t` without any network or spill
+  /// modeling (used by rebalance, whose transfers are charged at merge).
+  void deposit_local(int t, mem::RecordBatch bucket);
+
+  /// Stage barrier: wait until every in-flight block has been deposited
+  /// (and any spill writes completed). Aborts loudly if a block exhausted
+  /// its retry budget.
+  sim::Co<void> finish();
+
+  /// Reduce side: move partition `t`'s deposited buckets out, paying the
+  /// DFS read for any that were spilled. `reader` is the merging worker.
+  sim::Co<std::vector<mem::RecordBatch>> take(int t, int reader);
+
+  /// Bytes this session moved across the network (excludes same-worker
+  /// buckets). The single source of truth for stage shuffle accounting.
+  std::uint64_t network_bytes() const { return network_bytes_; }
+  std::uint64_t spilled_bytes() const { return spilled_bytes_; }
+
+ private:
+  struct Deposit {
+    mem::RecordBatch batch;
+    bool spilled = false;
+    bool counted_resident = false;  // held exchange-budget bytes until taken
+    std::string spill_path;
+  };
+
+  sim::Co<void> send_bucket(int src, int t, mem::RecordBatch bucket);
+  sim::Co<void> deposit(int t, int dst, mem::RecordBatch bucket);
+
+  ShuffleService* service_;
+  int out_partitions_;
+  std::string label_;
+  std::uint64_t id_;
+  std::vector<std::vector<Deposit>> buckets_;
+  std::vector<std::unique_ptr<sim::Semaphore>> credits_;  // per target partition
+  int in_flight_sends_ = 0;
+  std::unique_ptr<sim::Trigger> drained_;  // created lazily by finish()
+  std::uint64_t network_bytes_ = 0;
+  std::uint64_t spilled_bytes_ = 0;
+  std::uint64_t next_spill_seq_ = 0;
+  int aborted_blocks_ = 0;
+};
+
+class ShuffleService {
+ public:
+  /// Maps a target partition index to the worker node owning it.
+  using OwnerFn = std::function<int(int)>;
+
+  ShuffleService(sim::Simulation& sim, net::Cluster& cluster, dfs::Gdfs& dfs,
+                 ShuffleConfig config, OwnerFn owner);
+
+  const ShuffleConfig& config() const { return config_; }
+  sim::Simulation& sim() { return *sim_; }
+  net::Cluster& cluster() { return *cluster_; }
+  dfs::Gdfs& dfs() { return *dfs_; }
+  int owner_of(int partition) const { return owner_(partition); }
+  obs::MetricsRegistry& metrics() { return cluster_->metrics(); }
+
+  /// Fault-injection hook (the shuffle arm of the fault framework): the
+  /// next `n` block-transfer attempts fail before moving any bytes and are
+  /// retried with exponential backoff.
+  void inject_transfer_faults(int n) { injected_faults_ += n; }
+  int pending_injected_faults() const { return injected_faults_; }
+
+  /// Highest number of blocks that were simultaneously in flight — what the
+  /// credit window bounds (diagnostic for tests/benches).
+  std::int64_t max_blocks_in_flight() const { return max_in_flight_; }
+
+  /// Bytes currently resident in `worker`'s exchange buffer (deposited, not
+  /// yet taken, not spilled).
+  std::uint64_t resident_bytes(int worker) const;
+
+ private:
+  friend class ShuffleSession;
+
+  /// One block across the network, retrying injected faults with backoff.
+  /// Returns false when the retry budget is exhausted.
+  sim::Co<bool> transfer_block(int src, int dst, std::uint64_t bytes, const std::string& label);
+
+  void block_started();
+  void block_finished();
+  void add_resident(int worker, std::uint64_t bytes);
+  void sub_resident(int worker, std::uint64_t bytes);
+
+  sim::Simulation* sim_;
+  net::Cluster* cluster_;
+  dfs::Gdfs* dfs_;
+  ShuffleConfig config_;
+  OwnerFn owner_;
+  int injected_faults_ = 0;
+  std::int64_t in_flight_ = 0;
+  std::int64_t max_in_flight_ = 0;
+  std::uint64_t next_session_id_ = 1;
+  std::vector<std::uint64_t> resident_;  // exchange bytes per node id
+};
+
+}  // namespace gflink::shuffle

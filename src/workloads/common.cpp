@@ -43,6 +43,15 @@ df::EngineConfig make_engine_config(const Testbed& tb) {
   cfg.stage_schedule_overhead = scaled(sim::millis(8), s);
   cfg.task_deploy_overhead = scaled(sim::micros(300), s);
   cfg.failure_detection_delay = scaled(sim::millis(500), s);
+
+  // Exchange blocks and the receiver spill budget shrink with the data
+  // (bytes scale like record counts); retry backoff scales like latencies.
+  cfg.shuffle.block_bytes = std::max<std::uint64_t>(
+      1024, static_cast<std::uint64_t>((32.0 * (1 << 20)) * s));
+  cfg.shuffle.receiver_budget_bytes = std::max<std::uint64_t>(
+      64 * 1024, static_cast<std::uint64_t>(4.0e9 * s));
+  cfg.shuffle.retry_backoff = scaled(sim::millis(100), s);
+
   cfg.trace = tb.trace;
   return cfg;
 }

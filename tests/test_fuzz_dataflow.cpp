@@ -99,17 +99,36 @@ std::map<std::uint64_t, std::int64_t> reference(const std::vector<KV>& input,
   return sums;
 }
 
+/// Random exchange configuration: exercises the pipelined block path with
+/// tiny blocks and credit windows, tight spill budgets, and the barrier
+/// fallback. Results must be identical in every mode.
+gflink::shuffle::ShuffleConfig random_shuffle_config(sim::Rng& rng) {
+  gflink::shuffle::ShuffleConfig cfg;
+  cfg.pipelined = rng.next_below(4) != 0;  // mostly the pipelined path
+  cfg.block_bytes = 1ULL << (4 + rng.next_below(8));
+  cfg.credits_per_partition = 1 + static_cast<int>(rng.next_below(4));
+  cfg.spill_enabled = rng.next_below(2) == 0;
+  if (cfg.spill_enabled && rng.next_below(2) == 0) {
+    cfg.receiver_budget_bytes = 1 + rng.next_below(4096);  // force spills
+  }
+  return cfg;
+}
+
 /// Engine evaluation of the same spec.
 std::map<std::uint64_t, std::int64_t> run_engine(const std::vector<KV>& input,
                                                  const std::vector<OpSpec>& ops,
                                                  std::uint64_t key_mod, int workers,
-                                                 int partitions) {
+                                                 int partitions,
+                                                 const gflink::shuffle::ShuffleConfig& shuffle,
+                                                 int transfer_faults) {
   df::EngineConfig cfg;
   cfg.cluster.num_workers = workers;
   cfg.dfs.replication = std::min(2, workers);
   cfg.job_submit_overhead = 0;
   cfg.job_schedule_overhead = 0;
+  cfg.shuffle = shuffle;
   Engine e(cfg);
+  e.shuffle_service().inject_transfer_faults(transfer_faults);
   std::map<std::uint64_t, std::int64_t> sums;
   e.run([&](Engine& eng) -> Co<void> {
     Job job(eng, "fuzz");
@@ -169,11 +188,15 @@ TEST_P(PlanFuzz, RandomChainsMatchReference) {
   const auto ops = random_chain(rng);
   const int workers = 1 + static_cast<int>(rng.next_below(5));
   const int partitions = 1 + static_cast<int>(rng.next_below(12));
+  const auto shuffle = random_shuffle_config(rng);
+  const int faults = static_cast<int>(rng.next_below(3));  // < max_retries
 
   const auto expected = reference(input, ops, key_mod);
-  const auto actual = run_engine(input, ops, key_mod, workers, partitions);
+  const auto actual =
+      run_engine(input, ops, key_mod, workers, partitions, shuffle, faults);
   EXPECT_EQ(actual, expected) << "seed " << GetParam() << ", ops " << ops.size() << ", workers "
-                              << workers << ", partitions " << partitions;
+                              << workers << ", partitions " << partitions << ", pipelined "
+                              << shuffle.pipelined << ", spill " << shuffle.spill_enabled;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzz, ::testing::Range(0, 20));

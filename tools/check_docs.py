@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Lint relative links in the repo's markdown files.
+
+Walks every tracked *.md file (skipping build trees), extracts inline
+markdown links and image references, and fails if a relative link points at
+a file or directory that does not exist. External links (http/https/mailto)
+and pure in-page anchors are skipped; `path#anchor` links are checked for
+the path part only.
+
+Usage: tools/check_docs.py [root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "cmake-build-debug", "cmake-build-release",
+             "third_party", ".cache"}
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Strip fenced code blocks: links inside them are examples, not claims.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        base = root if target.startswith("/") else os.path.dirname(path)
+        resolved = os.path.normpath(os.path.join(base, target.lstrip("/")))
+        if not os.path.exists(resolved):
+            errors.append(f"{os.path.relpath(path, root)}: broken link -> {match.group(1)}")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    count = 0
+    for path in markdown_files(root):
+        count += 1
+        errors.extend(check_file(path, root))
+    if errors:
+        print("\n".join(errors))
+        sys.exit(f"{len(errors)} broken link(s) across {count} markdown file(s)")
+    print(f"checked {count} markdown file(s): all relative links resolve")
+
+
+if __name__ == "__main__":
+    main()

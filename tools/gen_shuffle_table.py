@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regenerate (or check) the EXPERIMENTS.md shuffle-ablation table.
+
+Reads BENCH_ablation_shuffle.json (a gflink.run_report/v1 written by
+bench/bench_ablation_shuffle), renders the markdown table between the
+`<!-- shuffle-ablation:begin -->` / `<!-- shuffle-ablation:end -->` markers
+in EXPERIMENTS.md, and either rewrites the file in place (default) or, with
+--check, fails if the committed numbers drift from the fresh run by more
+than --tolerance (relative) or if the pipelined mode is not strictly faster
+than the barrier mode.
+
+Usage:
+  tools/gen_shuffle_table.py --report BENCH_ablation_shuffle.json [--check]
+      [--experiments EXPERIMENTS.md] [--tolerance 0.05]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+MODES = ["barrier", "pipelined", "pipelined+spill"]
+BEGIN = "<!-- shuffle-ablation:begin -->"
+END = "<!-- shuffle-ablation:end -->"
+
+
+def load_seconds(report_path):
+    with open(report_path) as f:
+        report = json.load(f)
+    seconds = {}
+    for gauge in report.get("metrics", {}).get("gauges", []):
+        if gauge.get("name") == "ablation_shuffle_seconds":
+            seconds[gauge.get("labels", {}).get("mode")] = float(gauge["value"])
+    missing = [m for m in MODES if m not in seconds]
+    if missing:
+        sys.exit(f"error: {report_path} is missing modes {missing}; "
+                 "re-run bench_ablation_shuffle")
+    return seconds
+
+
+def render_table(seconds):
+    barrier = seconds["barrier"]
+    lines = [
+        "| Exchange mode | PageRank 10 M (full-scale s) | vs. barrier |",
+        "|---|---|---|",
+    ]
+    for mode in MODES:
+        ratio = seconds[mode] / barrier
+        lines.append(f"| {mode} | {seconds[mode]:.2f} | {ratio:.3f}x |")
+    return "\n".join(lines)
+
+
+def parse_committed(block):
+    committed = {}
+    for match in re.finditer(r"^\| (\S[^|]*?) \| ([0-9.]+) \|", block, re.M):
+        committed[match.group(1).strip()] = float(match.group(2))
+    return committed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", default="BENCH_ablation_shuffle.json")
+    ap.add_argument("--experiments", default="EXPERIMENTS.md")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative drift per mode in --check")
+    ap.add_argument("--check", action="store_true",
+                    help="fail on drift instead of rewriting the table")
+    args = ap.parse_args()
+
+    seconds = load_seconds(args.report)
+    if seconds["pipelined"] >= seconds["barrier"]:
+        sys.exit("error: pipelined mode is not strictly faster than barrier "
+                 f"({seconds['pipelined']:.3f} vs {seconds['barrier']:.3f} s)")
+
+    with open(args.experiments) as f:
+        text = f.read()
+    pattern = re.compile(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.S)
+    found = pattern.search(text)
+    if not found:
+        sys.exit(f"error: {args.experiments} lacks the {BEGIN} ... {END} markers")
+
+    if args.check:
+        committed = parse_committed(found.group(1))
+        failures = []
+        for mode in MODES:
+            if mode not in committed:
+                failures.append(f"mode '{mode}' missing from committed table")
+                continue
+            drift = abs(committed[mode] - seconds[mode]) / seconds[mode]
+            if drift > args.tolerance:
+                failures.append(
+                    f"{mode}: committed {committed[mode]:.2f} s vs measured "
+                    f"{seconds[mode]:.2f} s (drift {drift:.1%} > {args.tolerance:.0%})")
+        if failures:
+            sys.exit("EXPERIMENTS.md shuffle-ablation table drifted:\n  "
+                     + "\n  ".join(failures)
+                     + "\nRegenerate with tools/gen_shuffle_table.py")
+        print("shuffle-ablation table matches the fresh run")
+        return
+
+    replacement = f"{BEGIN}\n{render_table(seconds)}\n{END}"
+    with open(args.experiments, "w") as f:
+        f.write(pattern.sub(lambda _: replacement, text))
+    print(f"updated {args.experiments}")
+
+
+if __name__ == "__main__":
+    main()
