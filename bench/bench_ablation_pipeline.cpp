@@ -10,6 +10,12 @@
 //
 // Expected: ~1.6-1.9x gain from 1 -> 4 streams, flat beyond that (the
 // copy engine saturates).
+//
+// A second sweep ablates the *intra-GWork* chunked pipeline on a single
+// stream (so cross-stream overlap cannot help): each GWork is split into
+// chunks driven through the device staging ring, H2D(i+1) ‖ kernel(i) ‖
+// D2H(i-1). tools/gen_pipeline_table.py renders the recorded gauges into
+// the EXPERIMENTS.md chunk-size table.
 #include <benchmark/benchmark.h>
 
 #include "bench_report.hpp"
@@ -89,6 +95,108 @@ double run_with_streams(int streams) {
   s.run();
   return sim::to_seconds(end);
 }
+
+struct ChunkRun {
+  double seconds = 0;
+  double overlap_efficiency = 0;
+  std::size_t chunks_per_work = 1;
+};
+
+// Same balanced workload, one stream per GPU, symmetric input/output volume
+// (both copy engines active) — the regime the staging ring targets.
+ChunkRun run_with_chunks(std::uint64_t chunk_bytes) {
+  ensure_balanced_kernel();
+  sim::Simulation s;
+  gpu::GpuDevice device(s, "gpu0", gpu::DeviceSpec::c2050());
+  gpu::CudaStub stub(device);
+  gpu::CudaWrapper wrapper(stub);
+  core::GMemoryManager memory({&device}, 1 << 20, core::CachePolicy::Fifo);
+  core::GStreamConfig cfg;
+  cfg.streams_per_gpu = 1;  // isolate intra-GWork overlap from cross-stream overlap
+  cfg.chunk_bytes = chunk_bytes;
+  core::GStreamManager manager(s, {&wrapper}, memory, cfg);
+  mem::AddressSpace addresses;
+
+  sim::WaitGroup wg(s);
+  std::vector<core::GWorkPtr> works;
+  for (int b = 0; b < kBlocks; ++b) {
+    auto in = std::make_shared<mem::HBuffer>(kBlockBytes, addresses.allocate(kBlockBytes));
+    in->set_pinned(true);
+    auto out = std::make_shared<mem::HBuffer>(kBlockBytes, addresses.allocate(kBlockBytes));
+    out->set_pinned(true);
+    auto work = std::make_shared<core::GWork>();
+    work->execute_name = "ablation_balanced";
+    work->size = kBlockBytes;  // one "item" per byte, matching the cost model
+    work->chunkable = true;
+    core::GBuffer ib;
+    ib.host = in;
+    ib.bytes = kBlockBytes;
+    ib.item_stride = 1;
+    work->inputs.push_back(ib);
+    core::GBuffer ob;
+    ob.host = out;
+    ob.bytes = kBlockBytes;
+    ob.item_stride = 1;
+    work->outputs.push_back(ob);
+    works.push_back(work);
+    wg.add();
+    s.spawn([](core::GStreamManager& gs, core::GWorkPtr w, sim::WaitGroup& join) -> sim::Co<void> {
+      co_await gs.run(w);
+      join.done();
+    }(manager, work, wg));
+  }
+  sim::Time end = 0;
+  s.spawn([](sim::WaitGroup& join, sim::Simulation& sm, sim::Time& out) -> sim::Co<void> {
+    co_await join.wait();
+    out = sm.now();
+  }(wg, s, end));
+  s.run();
+
+  ChunkRun r;
+  r.seconds = sim::to_seconds(end);
+  r.overlap_efficiency = device.overlap_efficiency();
+  r.chunks_per_work = works.front()->executed_chunks;
+  return r;
+}
+
+std::string chunk_key(std::uint64_t chunk_bytes) {
+  if (chunk_bytes == 0) return "monolithic";
+  if (chunk_bytes >= 1 << 20) return std::to_string(chunk_bytes >> 20) + "MB";
+  return std::to_string(chunk_bytes >> 10) + "KB";
+}
+
+void Ablation_ChunkedPipeline(benchmark::State& state) {
+  const auto chunk_bytes = static_cast<std::uint64_t>(state.range(0));
+  static double monolithic_baseline = 0;
+  for (auto _ : state) {
+    const ChunkRun r = run_with_chunks(chunk_bytes);
+    if (chunk_bytes == 0) monolithic_baseline = r.seconds;
+    state.SetIterationTime(r.seconds);
+    state.counters["makespan_s"] = r.seconds;
+    state.counters["overlap_eff"] = r.overlap_efficiency;
+    if (monolithic_baseline > 0) {
+      state.counters["gain_vs_monolithic"] = monolithic_baseline / r.seconds;
+    }
+    const std::string key = chunk_key(chunk_bytes);
+    auto& rep = gflink::bench::bench_report();
+    rep.metrics.gauge("ablation_pipeline_seconds", {{"chunk", key}}).set(r.seconds);
+    rep.metrics.gauge("ablation_pipeline_overlap_efficiency", {{"chunk", key}})
+        .set(r.overlap_efficiency);
+    rep.metrics.gauge("ablation_pipeline_chunks_per_work", {{"chunk", key}})
+        .set(static_cast<double>(r.chunks_per_work));
+    if (monolithic_baseline > 0) {
+      rep.metrics.gauge("ablation_pipeline_gain", {{"chunk", key}})
+          .set(monolithic_baseline / r.seconds);
+    }
+  }
+  state.SetLabel("chunk=" + chunk_key(chunk_bytes));
+}
+BENCHMARK(Ablation_ChunkedPipeline)
+    ->Arg(0)                 // monolithic baseline
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Arg(4 << 20)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void Ablation_Pipeline(benchmark::State& state) {
   const int streams = static_cast<int>(state.range(0));

@@ -60,12 +60,10 @@ sim::Co<void> gpu_map_partition_run(dataflow::TaskContext& ctx, const GpuOpSpec&
     // The input block aliases the partition's off-heap page: zero copy in
     // the modeled system; here we materialize the block buffer to give the
     // kernel a concrete span.
-    mem::HBufferPtr in_buf = co_await memory.allocate(in_bytes);
-    in_buf->set_pinned(true);  // Flink's page pool is registered up front
+    mem::HBufferPtr in_buf = co_await memory.allocate(in_bytes);  // pinned off-heap
     in_buf->write(0, in.record_ptr(first), in_bytes);
 
     mem::HBufferPtr out_buf = co_await memory.allocate(std::max<std::size_t>(out_bytes, 1));
-    out_buf->set_pinned(true);
 
     auto work = std::make_shared<GWork>();
     work->execute_name = spec.kernel;
@@ -75,6 +73,8 @@ sim::Co<void> gpu_map_partition_run(dataflow::TaskContext& ctx, const GpuOpSpec&
     work->block_size = spec.block_size;
     work->job_id = ctx.job().id();
     work->params = params;
+    work->chunkable = spec.chunkable;
+    work->chunk_bytes = spec.chunk_bytes;
     GBuffer in_binding;
     in_binding.host = in_buf;
     in_binding.bytes = in_bytes;
@@ -82,11 +82,19 @@ sim::Co<void> gpu_map_partition_run(dataflow::TaskContext& ctx, const GpuOpSpec&
     in_binding.cache_key = make_cache_key(spec.cache_namespace,
                                           static_cast<std::uint32_t>(ctx.partition()),
                                           static_cast<std::uint32_t>(b));
+    in_binding.item_stride = stride;  // records never split across chunks
     work->inputs.push_back(std::move(in_binding));
+    // Broadcast buffers stay indivisible (item_stride 0 as built by
+    // make_aux): kernels index them absolutely.
     for (const GBuffer& a : aux) work->inputs.push_back(a);
     GBuffer out_binding;
     out_binding.host = out_buf;
     out_binding.bytes = out_bytes;
+    // Element-wise ops produce a fixed number of output records per input
+    // item; expose that as the output stride so chunks stay element-aligned.
+    if (spec.chunkable && out_records >= n && out_records % n == 0) {
+      out_binding.item_stride = (out_records / n) * out_stride;
+    }
     work->outputs.push_back(std::move(out_binding));
 
     mgr.streams().submit(work);

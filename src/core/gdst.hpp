@@ -33,6 +33,14 @@ struct GpuOpSpec {
   /// Distinguishes datasets of one job in cache keys.
   std::uint32_t cache_namespace = 1;
 
+  /// The kernel is element-wise (output items [a,b) depend only on input
+  /// items [a,b) plus broadcast buffers): blocks become chunkable GWork and
+  /// flow through the intra-GWork chunked pipeline. Block-level reducers
+  /// must leave this false.
+  bool chunkable = false;
+  /// Per-op chunk size override; 0 = GStreamConfig::chunk_bytes.
+  std::uint64_t chunk_bytes = 0;
+
   /// Output items produced by a block of n input items (identity for pure
   /// maps; constant k for block-level reducers).
   std::function<std::size_t(std::size_t)> out_items;

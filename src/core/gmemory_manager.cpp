@@ -103,11 +103,28 @@ void GMemoryManager::unpin(int device, std::uint64_t job, std::uint64_t key) {
   --it->second.pins;
 }
 
+bool GMemoryManager::erase(int device, std::uint64_t job, std::uint64_t key) {
+  Region* r = find_region(device, job);
+  if (r == nullptr) return false;
+  auto it = r->table.find(key);
+  if (it == r->table.end()) return false;
+  GFLINK_CHECK_MSG(it->second.pins > 0, "erase without matching pin");
+  --it->second.pins;
+  if (it->second.pins > 0) return false;  // another stream is using it
+  devices_.at(static_cast<std::size_t>(device))->memory().free(it->second.entry.ptr);
+  r->used -= it->second.entry.bytes;
+  r->table.erase(it);
+  std::erase(r->fifo, key);
+  return true;
+}
+
 bool GMemoryManager::evict_for_space(int device, std::uint64_t job, std::uint64_t bytes) {
+  // Contiguity-aware: free_bytes() can exceed `bytes` while no single hole
+  // fits (the fragmented-heap case); keep evicting until a hole does.
   gpu::GpuDevice& dev = *devices_.at(static_cast<std::size_t>(device));
   Region* r = find_region(device, job);
-  if (r == nullptr) return dev.memory().free_bytes() >= bytes;
-  while (dev.memory().free_bytes() < bytes) {
+  if (r == nullptr) return dev.memory().can_allocate(bytes);
+  while (!dev.memory().can_allocate(bytes)) {
     // Find the oldest unpinned entry.
     auto victim = r->fifo.end();
     for (auto it = r->fifo.begin(); it != r->fifo.end(); ++it) {
@@ -126,7 +143,29 @@ bool GMemoryManager::evict_for_space(int device, std::uint64_t job, std::uint64_
     r->fifo.erase(victim);
     ++evictions_;
   }
-  return dev.memory().free_bytes() >= bytes;
+  return dev.memory().can_allocate(bytes);
+}
+
+gpu::DevicePtr GMemoryManager::reserve_staging(int device, std::uint64_t job,
+                                               std::uint64_t bytes) {
+  gpu::GpuDevice& dev = *devices_.at(static_cast<std::size_t>(device));
+  gpu::DevicePtr ptr = dev.memory().allocate(bytes);
+  if (ptr == 0 && evict_for_space(device, job, bytes)) {
+    ptr = dev.memory().allocate(bytes);
+  }
+  if (ptr == 0) {
+    ++staging_failures_;
+    return 0;
+  }
+  ++staging_reservations_;
+  staging_bytes_.at(static_cast<std::size_t>(device)) += dev.memory().allocation_size(ptr);
+  return ptr;
+}
+
+void GMemoryManager::release_staging(int device, gpu::DevicePtr ptr) {
+  gpu::GpuDevice& dev = *devices_.at(static_cast<std::size_t>(device));
+  staging_bytes_.at(static_cast<std::size_t>(device)) -= dev.memory().allocation_size(ptr);
+  dev.memory().free(ptr);
 }
 
 void GMemoryManager::release_job(std::uint64_t job) {

@@ -37,7 +37,7 @@ class GMemoryManager {
   GMemoryManager(std::vector<gpu::GpuDevice*> devices, std::uint64_t region_capacity,
                  CachePolicy policy)
       : devices_(std::move(devices)), region_capacity_(region_capacity), policy_(policy),
-        regions_(devices_.size()) {}
+        regions_(devices_.size()), staging_bytes_(devices_.size(), 0) {}
 
   int num_devices() const { return static_cast<int>(devices_.size()); }
   CachePolicy policy() const { return policy_; }
@@ -61,6 +61,13 @@ class GMemoryManager {
   /// Release a pin taken by lookup_pinned()/insert().
   void unpin(int device, std::uint64_t job, std::uint64_t key);
 
+  /// Undo of insert(): drop an entry the caller just inserted (and still
+  /// holds the pin of) before any data was transferred into it — used when
+  /// a chunked execution aborts during placement. If another stream pinned
+  /// the entry meanwhile it is left in place (only this caller's pin is
+  /// released). Returns true when the entry was removed.
+  bool erase(int device, std::uint64_t job, std::uint64_t key);
+
   /// Relieve device-memory pressure: evict unpinned cached entries of `job`
   /// (FIFO order) until at least `bytes` are free on the device or nothing
   /// evictable remains. Returns true if the space is now available. Used
@@ -70,6 +77,21 @@ class GMemoryManager {
 
   /// Release a job's region on every device (job end / GFlink stop).
   void release_job(std::uint64_t job);
+
+  /// Reserve a device staging ring for the chunked transfer/compute
+  /// pipeline: a transient allocation that coexists with the cache regions
+  /// and, under pressure, evicts `job`'s unpinned cached entries to make
+  /// room (never pinned ones — reservation *fails* rather than waits, so a
+  /// fully pinned cache can never deadlock the pipeline; callers fall back
+  /// to monolithic execution). Returns 0 on failure. Pair with
+  /// release_staging().
+  gpu::DevicePtr reserve_staging(int device, std::uint64_t job, std::uint64_t bytes);
+  void release_staging(int device, gpu::DevicePtr ptr);
+
+  /// Bytes currently reserved as staging rings on `device`.
+  std::uint64_t staging_bytes(int device) const {
+    return staging_bytes_.empty() ? 0 : staging_bytes_.at(static_cast<std::size_t>(device));
+  }
 
   /// Algorithm 5.1's locality probe: the device holding the most cached
   /// input bytes for this work, or -1 when nothing is cached anywhere.
@@ -83,6 +105,8 @@ class GMemoryManager {
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
   std::uint64_t pins() const { return pins_; }
+  std::uint64_t staging_reservations() const { return staging_reservations_; }
+  std::uint64_t staging_failures() const { return staging_failures_; }
   std::uint64_t cached_bytes(int device, std::uint64_t job) const;
   /// Bytes currently occupied by cache regions on `device`, across jobs.
   std::uint64_t region_used(int device) const {
@@ -114,10 +138,13 @@ class GMemoryManager {
   std::uint64_t region_capacity_;
   CachePolicy policy_;
   std::vector<JobRegions> regions_;
+  std::vector<std::uint64_t> staging_bytes_;
   mutable std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t pins_ = 0;
+  std::uint64_t staging_reservations_ = 0;
+  std::uint64_t staging_failures_ = 0;
 };
 
 }  // namespace gflink::core

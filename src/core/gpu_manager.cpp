@@ -33,13 +33,21 @@ void GpuManager::export_metrics(obs::MetricsRegistry& out) const {
     out.counter("gpu_d2h_busy_ns_total", l).inc(static_cast<double>(dev.d2h_busy()));
     out.counter("gpu_bytes_h2d_total", l).inc(static_cast<double>(dev.bytes_h2d()));
     out.counter("gpu_bytes_d2h_total", l).inc(static_cast<double>(dev.bytes_d2h()));
+    out.counter("gpu_copy_compute_overlap_ns_total", l)
+        .inc(static_cast<double>(dev.copy_compute_overlap()));
+    out.gauge("gpu_copy_compute_overlap_efficiency", l).set(dev.overlap_efficiency());
     out.gauge("gpu_cache_region_used_bytes", l)
         .set(static_cast<double>(memory_->region_used(static_cast<int>(i))));
+    out.gauge("gpu_staging_ring_bytes", l)
+        .set(static_cast<double>(memory_->staging_bytes(static_cast<int>(i))));
   }
   out.counter("gpu_cache_hits_total").inc(static_cast<double>(memory_->hits()));
   out.counter("gpu_cache_misses_total").inc(static_cast<double>(memory_->misses()));
   out.counter("gpu_cache_evictions_total").inc(static_cast<double>(memory_->evictions()));
   out.counter("gpu_cache_pins_total").inc(static_cast<double>(memory_->pins()));
+  out.counter("gpu_staging_reservations_total")
+      .inc(static_cast<double>(memory_->staging_reservations()));
+  out.counter("gpu_staging_failures_total").inc(static_cast<double>(memory_->staging_failures()));
   streams_->export_metrics(out);
 }
 

@@ -1,8 +1,101 @@
 #include "core/gstream_manager.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace gflink::core {
+
+namespace {
+
+/// One GWork buffer as seen by the chunked pipeline.
+struct ChunkBuf {
+  mem::HBuffer* host = nullptr;
+  std::uint64_t bytes = 0;   // full buffer size
+  std::uint64_t stride = 0;  // per-item bytes; 0 = indivisible (bound whole)
+  /// Full-size device allocation (cache slot, aux buffer, or temporary).
+  /// 0 = ring resident: each chunk lives at ring_offset within its slot.
+  gpu::DevicePtr device_base = 0;
+  std::uint64_t ring_offset = 0;
+  bool is_output = false;
+  bool h2d = false;          // chunk-wise H2D required (uncached or cache-fill)
+  bool upfront_h2d = false;  // indivisible: one whole transfer before the pipeline
+  bool prefill_shadow = false;  // cache fill: make the entry's bytes coherent now
+};
+
+/// Shared state of one chunked execution; owned by execute_chunked's frame,
+/// which outlives every chunk coroutine (it joins them via the WaitGroup).
+struct ChunkCtx {
+  sim::Simulation* sim = nullptr;
+  gpu::CudaWrapper* api = nullptr;
+  const gpu::Kernel* kernel = nullptr;
+  GWork* work = nullptr;
+  std::size_t items_per_chunk = 0;
+  gpu::DevicePtr ring_base = 0;
+  std::uint64_t slot_stride = 0;  // bytes per ring slot
+  std::vector<ChunkBuf> buffers;  // binding order: inputs then outputs
+  sim::Channel<int>* free_slots = nullptr;
+  sim::WaitGroup* wg = nullptr;
+  std::string label;
+  sim::Duration h2d_ns = 0;
+  sim::Duration kernel_ns = 0;
+  sim::Duration d2h_ns = 0;
+};
+
+/// One chunk's pass through the three stages. Backpressure comes from the
+/// free-slot channel: at most `staging_slots` chunks are in flight, so chunk
+/// i+1's H2D overlaps chunk i's kernel overlaps chunk i-1's D2H (the copy
+/// engines and the compute engine are independent FIFO resources).
+sim::Co<void> run_chunk(ChunkCtx& ctx, std::size_t c) {
+  const auto slot = co_await ctx.free_slots->recv();
+  GFLINK_CHECK(slot.has_value());
+  const std::size_t first = c * ctx.items_per_chunk;
+  const std::size_t n = std::min(ctx.items_per_chunk, ctx.work->size - first);
+  const gpu::DevicePtr slot_base =
+      ctx.ring_base + static_cast<gpu::DevicePtr>(*slot) * ctx.slot_stride;
+
+  std::vector<gpu::GpuDevice::BufferBinding> bindings;
+  bindings.reserve(ctx.buffers.size());
+  const sim::Time h2d_begin = ctx.sim->now();
+  for (const ChunkBuf& b : ctx.buffers) {
+    gpu::DevicePtr dptr = 0;
+    std::uint64_t len = 0;
+    if (b.stride == 0) {
+      dptr = b.device_base;  // indivisible: transferred upfront, bound whole
+      len = b.bytes;
+    } else {
+      const std::uint64_t off = static_cast<std::uint64_t>(first) * b.stride;
+      dptr = b.device_base != 0 ? b.device_base + off : slot_base + b.ring_offset;
+      len = static_cast<std::uint64_t>(n) * b.stride;
+    }
+    if (b.h2d) {
+      co_await ctx.api->memcpy_h2d(dptr, *b.host, static_cast<std::size_t>(first) * b.stride,
+                                   len, ctx.label);
+    }
+    bindings.push_back({dptr, len});
+  }
+
+  const sim::Time kernel_begin = ctx.sim->now();
+  ctx.h2d_ns += kernel_begin - h2d_begin;
+  co_await ctx.api->launch_kernel(*ctx.kernel, bindings, n, ctx.work->layout,
+                                  ctx.work->block_size, /*grid_size=*/0, ctx.work->params.get(),
+                                  ctx.label);
+
+  const sim::Time d2h_begin = ctx.sim->now();
+  ctx.kernel_ns += d2h_begin - kernel_begin;
+  for (std::size_t i = 0; i < ctx.buffers.size(); ++i) {
+    const ChunkBuf& b = ctx.buffers[i];
+    if (!b.is_output) continue;
+    co_await ctx.api->memcpy_d2h(*b.host, static_cast<std::size_t>(first) * b.stride,
+                                 bindings[i].ptr, bindings[i].len, ctx.label);
+  }
+  ctx.d2h_ns += ctx.sim->now() - d2h_begin;
+
+  const bool returned = ctx.free_slots->try_send(*slot);
+  GFLINK_CHECK(returned);
+  ctx.wg->done();
+}
+
+}  // namespace
 
 GStreamManager::GStreamManager(sim::Simulation& sim, std::vector<gpu::CudaWrapper*> wrappers,
                                GMemoryManager& memory, const GStreamConfig& config,
@@ -182,11 +275,221 @@ sim::Co<void> GStreamManager::worker_loop(StreamWorker* w) {
   }
 }
 
+bool GStreamManager::chunk_plan(const GWork& work, ChunkPlan& plan) const {
+  if (!work.chunkable || work.use_mapped_memory) return false;
+  if (work.grid_size != 0) return false;  // explicit grid covers the whole GWork
+  if (work.size < 2 || work.outputs.empty()) return false;
+  const std::uint64_t chunk_bytes = work.chunk_bytes != 0 ? work.chunk_bytes : config_.chunk_bytes;
+  if (chunk_bytes == 0 || config_.staging_slots < 2) return false;
+
+  std::uint64_t per_item = 0;
+  plan.ring_item_bytes = 0;
+  for (const auto& in : work.inputs) {
+    if (in.item_stride == 0) continue;
+    if (in.item_stride * work.size != in.bytes) return false;  // misdeclared stride
+    per_item += in.item_stride;
+    if (!in.cache) plan.ring_item_bytes += in.item_stride;
+  }
+  for (const auto& out : work.outputs) {
+    // Chunkable work needs element-aligned outputs: an indivisible output
+    // (block-level reduction) depends on the whole input.
+    if (out.item_stride == 0 || out.item_stride * work.size != out.bytes) return false;
+    per_item += out.item_stride;
+    plan.ring_item_bytes += out.item_stride;
+  }
+  if (per_item == 0) return false;
+
+  plan.items_per_chunk = std::max<std::size_t>(1, static_cast<std::size_t>(chunk_bytes / per_item));
+  if (plan.items_per_chunk >= work.size) return false;  // single chunk: use monolithic
+  plan.num_chunks = (work.size + plan.items_per_chunk - 1) / plan.items_per_chunk;
+  return true;
+}
+
+sim::Co<bool> GStreamManager::execute_chunked(StreamWorker* w, const GWorkPtr& work,
+                                              const ChunkPlan& plan) {
+  gpu::CudaWrapper& api = *wrappers_.at(static_cast<std::size_t>(w->gpu));
+  const int gpu_index = w->gpu;
+  const std::string label = work->execute_name;
+  const sim::Time stage1_begin = sim_->now();
+
+  // Reserve the staging ring before touching the cache or moving any bytes,
+  // so a failed reservation falls back with no side effects (and, crucially,
+  // without having pre-paid transfers the monolithic path would re-run).
+  const std::size_t depth =
+      std::min(static_cast<std::size_t>(config_.staging_slots), plan.num_chunks);
+  const std::uint64_t slot_stride = plan.ring_item_bytes * plan.items_per_chunk;
+  co_await sim_->delay(api.jni_overhead() + api.stub().overheads().malloc_cost);
+  const gpu::DevicePtr ring =
+      memory_->reserve_staging(gpu_index, work->job_id, slot_stride * depth);
+  if (ring == 0) {
+    stage_h2d_ns_ += sim_->now() - stage1_begin;
+    co_return false;
+  }
+
+  ChunkCtx ctx;
+  ctx.sim = sim_;
+  ctx.api = &api;
+  ctx.kernel = &gpu::KernelRegistry::global().lookup(work->execute_name);
+  ctx.work = work.get();
+  ctx.items_per_chunk = plan.items_per_chunk;
+  ctx.ring_base = ring;
+  ctx.slot_stride = slot_stride;
+  ctx.label = label;
+
+  std::vector<gpu::DevicePtr> temporaries;
+  std::vector<std::uint64_t> pinned_keys;    // hits + fills: unpinned at teardown
+  std::vector<std::uint64_t> inserted_keys;  // fills only: erased on abort
+
+  // Placement pass — allocations only, no data movement yet, so an OOM can
+  // abort cleanly into the monolithic fallback (cache untouched, nothing
+  // pre-paid). Indivisible inputs (aux/broadcast) get full-size device
+  // buffers; splittable ones either fill a cache slot chunk-by-chunk or
+  // ride the staging ring.
+  bool placed = true;
+  for (auto& in : work->inputs) {
+    ChunkBuf b;
+    b.host = in.host.get();
+    b.bytes = in.bytes;
+    b.stride = in.item_stride;
+    bool cache_hit = false;
+    bool cache_fill = false;
+    if (in.cache) {
+      auto hit = memory_->lookup_pinned(gpu_index, work->job_id, in.cache_key);
+      if (hit && hit->bytes >= in.bytes) {
+        b.device_base = hit->ptr;
+        cache_hit = true;  // the paper's avoided PCIe transfer
+        pinned_keys.push_back(in.cache_key);
+      } else {
+        if (hit) memory_->unpin(gpu_index, work->job_id, in.cache_key);  // undersized hit
+        if (auto slot = memory_->insert(gpu_index, work->job_id, in.cache_key, in.bytes)) {
+          b.device_base = slot->ptr;
+          cache_fill = true;
+          pinned_keys.push_back(in.cache_key);
+          inserted_keys.push_back(in.cache_key);
+        }
+      }
+    }
+    if (b.device_base == 0 && (b.stride == 0 || in.cache)) {
+      // Indivisible uncached input, or a cacheable one the region declined:
+      // full-size transient allocation. (Uncached *splittable* inputs ride
+      // the staging ring and need no allocation here.)
+      gpu::DevicePtr dptr = co_await api.cuda_malloc(in.bytes);
+      if (dptr == 0 && memory_->evict_for_space(gpu_index, work->job_id, in.bytes)) {
+        dptr = co_await api.cuda_malloc(in.bytes);
+      }
+      if (dptr == 0) {
+        placed = false;  // ring + full-size buffers exceed the device
+        break;
+      }
+      temporaries.push_back(dptr);
+      b.device_base = dptr;
+    }
+    if (!cache_hit) {
+      b.upfront_h2d = b.stride == 0;
+      b.h2d = b.stride != 0;  // chunk-wise H2D (into ring, cache slot, or temporary)
+      b.prefill_shadow = cache_fill && b.stride != 0;
+    }
+    ctx.buffers.push_back(b);
+  }
+  if (!placed) {
+    for (gpu::DevicePtr t : temporaries) {
+      co_await api.cuda_free(t);
+    }
+    for (std::uint64_t key : inserted_keys) {
+      memory_->erase(gpu_index, work->job_id, key);  // releases this pin too
+    }
+    for (std::uint64_t key : pinned_keys) {
+      if (std::find(inserted_keys.begin(), inserted_keys.end(), key) == inserted_keys.end()) {
+        memory_->unpin(gpu_index, work->job_id, key);
+      }
+    }
+    co_await sim_->delay(api.jni_overhead() + api.stub().overheads().free_cost);
+    memory_->release_staging(gpu_index, ring);
+    stage_h2d_ns_ += sim_->now() - stage1_begin;
+    co_return false;
+  }
+
+  // Transfer pass: now that every placement is secured, move the upfront
+  // data.
+  for (ChunkBuf& b : ctx.buffers) {
+    if (b.upfront_h2d) {
+      // Indivisible (aux/broadcast): one whole transfer before the
+      // pipeline starts; every chunk kernel binds the full buffer.
+      co_await api.memcpy_h2d(b.device_base, *b.host, 0, b.bytes, label);
+    } else if (b.prefill_shadow) {
+      // The entry is visible to concurrent streams from the moment
+      // insert() returned; make its real bytes coherent now — the chunk
+      // DMAs below model the transfer *time* and rewrite the same bytes.
+      std::memcpy(api.device().memory().shadow(b.device_base, b.bytes), b.host->data(), b.bytes);
+    }
+  }
+  for (auto& out : work->outputs) {
+    ChunkBuf b;
+    b.host = out.host.get();
+    b.bytes = out.bytes;
+    b.stride = out.item_stride;
+    b.is_output = true;
+    ctx.buffers.push_back(b);
+  }
+
+  // Ring sub-layout: consecutive per-buffer lanes inside each slot.
+  std::uint64_t lane = 0;
+  for (ChunkBuf& b : ctx.buffers) {
+    if (b.device_base != 0 || b.stride == 0) continue;
+    b.ring_offset = lane;
+    lane += b.stride * plan.items_per_chunk;
+  }
+  GFLINK_CHECK(lane <= slot_stride);
+  stage_h2d_ns_ += sim_->now() - stage1_begin;
+
+  // The pipeline: one coroutine per chunk, admitted by the free-slot channel
+  // (depth = staging slots). Engine mutexes are FIFO, so chunks proceed in
+  // issue order through each stage.
+  sim::Channel<int> free_slots(*sim_, depth);
+  sim::WaitGroup wg(*sim_);
+  ctx.free_slots = &free_slots;
+  ctx.wg = &wg;
+  for (std::size_t s = 0; s < depth; ++s) {
+    const bool ok = free_slots.try_send(static_cast<int>(s));
+    GFLINK_CHECK(ok);
+  }
+  wg.add(static_cast<int>(plan.num_chunks));
+  for (std::size_t c = 0; c < plan.num_chunks; ++c) {
+    sim_->spawn(run_chunk(ctx, c));
+  }
+  co_await wg.wait();
+  stage_h2d_ns_ += ctx.h2d_ns;
+  stage_kernel_ns_ += ctx.kernel_ns;
+  stage_d2h_ns_ += ctx.d2h_ns;
+
+  const sim::Time teardown_begin = sim_->now();
+  co_await sim_->delay(api.jni_overhead() + api.stub().overheads().free_cost);
+  memory_->release_staging(gpu_index, ring);
+  for (gpu::DevicePtr t : temporaries) {
+    co_await api.cuda_free(t);
+  }
+  for (std::uint64_t key : pinned_keys) {
+    memory_->unpin(gpu_index, work->job_id, key);
+  }
+  stage_d2h_ns_ += sim_->now() - teardown_begin;
+
+  ++chunked_works_;
+  chunks_total_ += plan.num_chunks;
+  work->executed_chunks = plan.num_chunks;
+  finish(work, gpu_index);
+  co_return true;
+}
+
 sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
   gpu::CudaWrapper& api = *wrappers_.at(static_cast<std::size_t>(w->gpu));
   const int gpu_index = w->gpu;
   work->executed_on_gpu = gpu_index;
   work->executed_on_stream = w->stream_id;
+
+  if (ChunkPlan plan; chunk_plan(*work, plan)) {
+    if (co_await execute_chunked(w, work, plan)) co_return;
+    ++chunk_fallbacks_;  // ring unavailable: monolithic fallback below
+  }
 
   if (work->use_mapped_memory) {
     // Zero-copy path: bind the host buffers directly; the kernel streams
@@ -215,51 +518,101 @@ sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
   std::vector<gpu::GpuDevice::BufferBinding> bindings;
   bindings.reserve(work->inputs.size() + work->outputs.size());
   std::vector<gpu::DevicePtr> temporaries;
-  std::vector<std::uint64_t> pinned_keys;  // cache entries in use by this GWork
+  std::vector<std::uint64_t> pinned_keys;    // cache entries in use by this GWork
+  std::vector<std::uint64_t> inserted_keys;  // subset of pinned_keys we created
+  std::vector<bool> input_needs_transfer;    // parallel to work->inputs
 
-  // Stage 1: H2D input transfers, honouring the GPU cache. Cached entries
-  // are pinned for the duration of the GWork so a concurrent stream cannot
-  // evict (and the allocator reuse) device memory we are still reading.
-  for (auto& in : work->inputs) {
-    gpu::DevicePtr dptr = 0;
-    bool need_transfer = true;
-    if (in.cache) {
-      auto hit = memory_->lookup_pinned(gpu_index, work->job_id, in.cache_key);
-      if (hit && hit->bytes >= in.bytes) {
-        dptr = hit->ptr;
-        pinned_keys.push_back(in.cache_key);
-        need_transfer = false;  // the paper's avoided PCIe transfer
-      } else {
-        if (hit) memory_->unpin(gpu_index, work->job_id, in.cache_key);  // undersized hit
-        if (auto slot = memory_->insert(gpu_index, work->job_id, in.cache_key, in.bytes)) {
-          dptr = slot->ptr;  // region allocation: no cudaMalloc on the hot path
+  // Stage 1a: place every buffer (inputs honouring the GPU cache, then
+  // outputs) before moving any data. Cached entries are pinned for the
+  // duration of the GWork so a concurrent stream cannot evict (and the
+  // allocator reuse) device memory we are still reading. If placement
+  // fails even after cache eviction — concurrent streams hold the rest of
+  // the device — release everything we grabbed and retry after a backoff:
+  // holding nothing while waiting means no hold-and-wait, so streams can
+  // never deadlock on each other, and the work proceeds once the device
+  // drains.
+  for (int attempt = 0;; ++attempt) {
+    bool placed = true;
+    for (auto& in : work->inputs) {
+      gpu::DevicePtr dptr = 0;
+      bool need_transfer = true;
+      if (in.cache) {
+        auto hit = memory_->lookup_pinned(gpu_index, work->job_id, in.cache_key);
+        if (hit && hit->bytes >= in.bytes) {
+          dptr = hit->ptr;
           pinned_keys.push_back(in.cache_key);
+          need_transfer = false;  // the paper's avoided PCIe transfer
+        } else {
+          if (hit) memory_->unpin(gpu_index, work->job_id, in.cache_key);  // undersized hit
+          if (auto slot = memory_->insert(gpu_index, work->job_id, in.cache_key, in.bytes)) {
+            dptr = slot->ptr;  // region allocation: no cudaMalloc on the hot path
+            pinned_keys.push_back(in.cache_key);
+            inserted_keys.push_back(in.cache_key);
+          }
         }
       }
-    }
-    if (dptr == 0) {
-      dptr = co_await api.cuda_malloc(in.bytes);
-      if (dptr == 0 && memory_->evict_for_space(gpu_index, work->job_id, in.bytes)) {
-        dptr = co_await api.cuda_malloc(in.bytes);  // retry after cache relief
+      if (dptr == 0) {
+        dptr = co_await api.cuda_malloc(in.bytes);
+        if (dptr == 0 && memory_->evict_for_space(gpu_index, work->job_id, in.bytes)) {
+          dptr = co_await api.cuda_malloc(in.bytes);  // retry after cache relief
+        }
+        if (dptr == 0) {
+          placed = false;
+          break;
+        }
+        temporaries.push_back(dptr);
       }
-      GFLINK_CHECK_MSG(dptr != 0, "device OOM for GWork input");
-      temporaries.push_back(dptr);
+      bindings.push_back({dptr, in.bytes});
+      input_needs_transfer.push_back(need_transfer);
     }
-    if (need_transfer) {
-      co_await api.memcpy_h2d(dptr, *in.host, 0, in.bytes, label);
+    if (placed) {
+      // Output allocations (released automatically after D2H).
+      for (auto& out : work->outputs) {
+        gpu::DevicePtr dptr = co_await api.cuda_malloc(out.bytes);
+        if (dptr == 0 && memory_->evict_for_space(gpu_index, work->job_id, out.bytes)) {
+          dptr = co_await api.cuda_malloc(out.bytes);
+        }
+        if (dptr == 0) {
+          placed = false;
+          break;
+        }
+        temporaries.push_back(dptr);
+        bindings.push_back({dptr, out.bytes});
+      }
     }
-    bindings.push_back({dptr, in.bytes});
+    if (placed) break;
+
+    // Undo this attempt completely before sleeping.
+    for (gpu::DevicePtr t : temporaries) {
+      co_await api.cuda_free(t);
+    }
+    temporaries.clear();
+    for (std::uint64_t key : inserted_keys) {
+      memory_->erase(gpu_index, work->job_id, key);
+    }
+    for (std::uint64_t key : pinned_keys) {
+      if (std::find(inserted_keys.begin(), inserted_keys.end(), key) == inserted_keys.end()) {
+        memory_->unpin(gpu_index, work->job_id, key);
+      }
+    }
+    pinned_keys.clear();
+    inserted_keys.clear();
+    bindings.clear();
+    input_needs_transfer.clear();
+    GFLINK_CHECK_MSG(attempt < 1000, "device OOM: GWork buffers never fit");
+    ++oom_retries_;
+    // Exponential growth (capped at 1024x): the base is a config-scale
+    // latency, but how long until concurrent works release their buffers
+    // is set by transfer/kernel durations, which the scale knob does not
+    // shrink the same way — growing the backoff adapts to either regime.
+    co_await sim_->delay(config_.oom_retry_backoff << std::min(attempt, 10));
   }
 
-  // Output allocations (released automatically after D2H).
-  for (auto& out : work->outputs) {
-    gpu::DevicePtr dptr = co_await api.cuda_malloc(out.bytes);
-    if (dptr == 0 && memory_->evict_for_space(gpu_index, work->job_id, out.bytes)) {
-      dptr = co_await api.cuda_malloc(out.bytes);
-    }
-    GFLINK_CHECK_MSG(dptr != 0, "device OOM for GWork output");
-    temporaries.push_back(dptr);
-    bindings.push_back({dptr, out.bytes});
+  // Stage 1b: H2D input transfers into the placed buffers.
+  for (std::size_t i = 0; i < work->inputs.size(); ++i) {
+    if (!input_needs_transfer[i]) continue;
+    auto& in = work->inputs[i];
+    co_await api.memcpy_h2d(bindings[i].ptr, *in.host, 0, in.bytes, label);
   }
 
   // Stage 2: kernel execution.
@@ -314,6 +667,10 @@ void GStreamManager::export_metrics(obs::MetricsRegistry& out) const {
   out.counter("gstream_freed_streams_total").inc(static_cast<double>(freed_count_));
   out.counter("gstream_locality_hits_total").inc(static_cast<double>(locality_hits_));
   out.counter("gstream_locality_misses_total").inc(static_cast<double>(locality_misses_));
+  out.counter("gstream_chunked_works_total").inc(static_cast<double>(chunked_works_));
+  out.counter("gstream_chunks_total").inc(static_cast<double>(chunks_total_));
+  out.counter("gstream_chunk_fallbacks_total").inc(static_cast<double>(chunk_fallbacks_));
+  out.counter("gstream_oom_retries_total").inc(static_cast<double>(oom_retries_));
   out.counter("gpu_stage_busy_ns", {{"stage", "h2d"}}).inc(static_cast<double>(stage_h2d_ns_));
   out.counter("gpu_stage_busy_ns", {{"stage", "kernel"}})
       .inc(static_cast<double>(stage_kernel_ns_));

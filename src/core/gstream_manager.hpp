@@ -37,6 +37,21 @@ struct GStreamConfig {
   int streams_per_gpu = 4;
   sim::Duration idle_timeout = sim::millis(20);
   SchedulingPolicy policy = SchedulingPolicy::LocalityAware;
+
+  // ---- Intra-GWork chunked transfer/compute pipeline ----
+  /// Split chunkable GWorks into element-aligned chunks of roughly this
+  /// many bytes and pipeline H2D(i+1) ‖ kernel(i) ‖ D2H(i-1) through a
+  /// device staging ring. 0 disables chunking (monolithic three-stage
+  /// execution for every GWork).
+  std::uint64_t chunk_bytes = 1 << 20;
+  /// Staging-ring depth (chunks resident on the device at once). 3 covers
+  /// the classic triple-buffering: one chunk per pipeline stage.
+  int staging_slots = 3;
+  /// When a monolithic GWork cannot place its buffers even after cache
+  /// eviction (concurrent streams hold the device), it releases everything
+  /// it grabbed and retries after this backoff instead of aborting. Holding
+  /// nothing while waiting keeps the scheme deadlock-free.
+  sim::Duration oom_retry_backoff = sim::micros(100);
 };
 
 class GStreamManager {
@@ -73,6 +88,15 @@ class GStreamManager {
   /// Work with nothing cached anywhere counts as neither.
   std::uint64_t locality_hits() const { return locality_hits_; }
   std::uint64_t locality_misses() const { return locality_misses_; }
+  /// GWork executed through the chunked pipeline / total chunks issued /
+  /// chunk-eligible GWork that fell back to monolithic execution because
+  /// the staging ring could not be reserved.
+  std::uint64_t chunked_works() const { return chunked_works_; }
+  std::uint64_t chunks_total() const { return chunks_total_; }
+  std::uint64_t chunk_fallbacks() const { return chunk_fallbacks_; }
+  /// Times a monolithic placement released its buffers and backed off
+  /// because concurrent streams held the device (see oom_retry_backoff).
+  std::uint64_t oom_retries() const { return oom_retries_; }
   // Per-stage elapsed time of the three-stage pipeline, summed over streams.
   sim::Duration stage_h2d_busy() const { return stage_h2d_ns_; }
   sim::Duration stage_kernel_busy() const { return stage_kernel_ns_; }
@@ -108,6 +132,27 @@ class GStreamManager {
   /// The three-stage pipeline for one GWork on one stream.
   sim::Co<void> execute(StreamWorker* w, const GWorkPtr& work);
 
+  /// Chunk geometry for the intra-GWork pipeline, derived up front so the
+  /// staging ring can be sized before any transfer or cache interaction.
+  struct ChunkPlan {
+    std::size_t items_per_chunk = 0;
+    std::size_t num_chunks = 0;
+    /// Per-item bytes of the ring-resident buffers: every splittable output
+    /// plus every *uncached* splittable input (cached inputs live in the
+    /// cache region, indivisible buffers in full-size allocations).
+    std::uint64_t ring_item_bytes = 0;
+  };
+
+  /// True (and `plan` filled) when `work` is eligible for chunked
+  /// execution under the current configuration.
+  bool chunk_plan(const GWork& work, ChunkPlan& plan) const;
+
+  /// Chunked execution: H2D(chunk i+1) ‖ kernel(chunk i) ‖ D2H(chunk i-1)
+  /// through a device staging ring. Returns false (having changed nothing)
+  /// when the ring cannot be reserved; the caller falls back to execute()'s
+  /// monolithic path.
+  sim::Co<bool> execute_chunked(StreamWorker* w, const GWorkPtr& work, const ChunkPlan& plan);
+
   /// Completion bookkeeping shared by the mapped and pipelined paths.
   void finish(const GWorkPtr& work, int gpu_index);
 
@@ -127,6 +172,10 @@ class GStreamManager {
   std::uint64_t freed_count_ = 0;
   std::uint64_t locality_hits_ = 0;
   std::uint64_t locality_misses_ = 0;
+  std::uint64_t chunked_works_ = 0;
+  std::uint64_t chunks_total_ = 0;
+  std::uint64_t chunk_fallbacks_ = 0;
+  std::uint64_t oom_retries_ = 0;
   sim::Duration stage_h2d_ns_ = 0;
   sim::Duration stage_kernel_ns_ = 0;
   sim::Duration stage_d2h_ns_ = 0;

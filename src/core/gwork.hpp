@@ -31,6 +31,13 @@ struct GBuffer {
   /// every device anyway) do not — they would otherwise glue all work to
   /// whichever device cached them first.
   bool counts_for_locality = true;
+  /// Bytes this buffer contributes per kernel item. Non-zero marks the
+  /// buffer splittable: item i occupies [i*item_stride, (i+1)*item_stride),
+  /// so the chunked pipeline can transfer it in element-aligned chunks
+  /// (records are never split). 0 = indivisible (broadcast/aux buffers,
+  /// block-level reducer outputs): transferred whole, before the first
+  /// chunk kernel.
+  std::uint64_t item_stride = 0;
 };
 
 /// Pack the paper's default cache key: partition ID + block ID (plus a
@@ -61,6 +68,17 @@ struct GWork {
   /// exclusive with input caching.
   bool use_mapped_memory = false;
 
+  /// The kernel is element-wise: output items for chunk [a, b) depend only
+  /// on input items [a, b) (plus indivisible aux buffers, which may be
+  /// indexed absolutely). Such GWorks are eligible for the intra-GWork
+  /// chunked pipeline: H2D(chunk i+1) ‖ kernel(chunk i) ‖ D2H(chunk i-1)
+  /// through the device staging ring. Block-level reducers (KMeans partial
+  /// sums, gradients, per-block combines) must leave this false — their
+  /// output depends on the whole block.
+  bool chunkable = false;
+  /// Per-GWork chunk size override; 0 = GStreamConfig::chunk_bytes.
+  std::uint64_t chunk_bytes = 0;
+
   /// Small by-value kernel argument block (kept alive by shared ownership).
   std::shared_ptr<void> params;
 
@@ -73,6 +91,8 @@ struct GWork {
   int executed_on_gpu = -1;
   int executed_on_stream = -1;
   bool was_stolen = false;
+  /// Chunks the pipeline split this GWork into (1 = monolithic execution).
+  std::size_t executed_chunks = 1;
   /// Device Algorithm 5.1's locality probe preferred at submit time (-1
   /// when nothing was cached anywhere); compared against executed_on_gpu
   /// for the scheduler's locality hit/miss metric.

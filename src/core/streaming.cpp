@@ -83,13 +83,11 @@ sim::Co<void> gpu_batch_loop(Engine& engine, Job& job, Pipeline& pl, const Strea
   auto flush = [&]() -> sim::Co<void> {
     if (batch.empty()) co_return;
     const std::size_t n = batch.size();
-    auto in_buf = memory.allocate_unbudgeted(n * stride);
-    in_buf->set_pinned(true);
+    auto in_buf = memory.allocate_unbudgeted(n * stride);  // pinned off-heap
     for (std::size_t i = 0; i < n; ++i) {
       in_buf->write(i * stride, batch[i].bytes.data(), stride);
     }
     auto out_buf = memory.allocate_unbudgeted(n * stride);
-    out_buf->set_pinned(true);
 
     auto work = std::make_shared<GWork>();
     work->execute_name = op.kernel;

@@ -29,6 +29,7 @@ class CudaStub {
       : device_(&device), overheads_(overheads) {}
 
   GpuDevice& device() { return *device_; }
+  const Overheads& overheads() const { return overheads_; }
 
   /// cudaMalloc: returns 0 on out-of-memory.
   sim::Co<DevicePtr> cuda_malloc(std::uint64_t bytes) {
@@ -74,6 +75,17 @@ class CudaStub {
                               const std::string& label = {}) {
     const Kernel& k = KernelRegistry::global().lookup(name);
     co_await device_->launch(k, buffers, items, layout, block_size, grid_size, params, label);
+  }
+
+  /// Chunk-granular launch: the caller resolved the Kernel once and issues
+  /// many small launches over sub-ranges (the chunked pipeline hot path).
+  sim::Co<void> launch_kernel(const Kernel& kernel,
+                              const std::vector<GpuDevice::BufferBinding>& buffers,
+                              std::size_t items, mem::Layout layout, int block_size = 256,
+                              int grid_size = 0, const void* params = nullptr,
+                              const std::string& label = {}) {
+    co_await device_->launch(kernel, buffers, items, layout, block_size, grid_size, params,
+                             label);
   }
 
  private:
@@ -156,6 +168,15 @@ class CudaWrapper {
                               const std::string& label = {}) {
     co_await jni();
     co_await stub_->launch_kernel(name, buffers, items, layout, block_size, grid_size, params,
+                                  label);
+  }
+  sim::Co<void> launch_kernel(const Kernel& kernel,
+                              const std::vector<GpuDevice::BufferBinding>& buffers,
+                              std::size_t items, mem::Layout layout, int block_size = 256,
+                              int grid_size = 0, const void* params = nullptr,
+                              const std::string& label = {}) {
+    co_await jni();
+    co_await stub_->launch_kernel(kernel, buffers, items, layout, block_size, grid_size, params,
                                   label);
   }
 

@@ -20,6 +20,18 @@ sim::Duration GpuDevice::dma_time(std::uint64_t bytes, bool pinned) const {
   return spec_.pcie_latency + sim::transfer_time(bytes, bw);
 }
 
+void GpuDevice::mark_engine(bool copy, int delta) {
+  const sim::Time now = sim_->now();
+  if (active_copies_ > 0 && active_kernels_ > 0) overlap_ns_ += now - last_engine_mark_;
+  last_engine_mark_ = now;
+  (copy ? active_copies_ : active_kernels_) += delta;
+}
+
+double GpuDevice::overlap_efficiency() const {
+  const sim::Duration hideable = std::min(h2d_busy_ + d2h_busy_, kernel_busy_);
+  return hideable > 0 ? static_cast<double>(overlap_ns_) / static_cast<double>(hideable) : 0.0;
+}
+
 sim::Co<void> GpuDevice::dma(sim::Mutex& engine, const char* lane, std::uint64_t bytes,
                              bool pinned, bool off_heap, const std::string& label,
                              sim::Duration& busy) {
@@ -31,7 +43,9 @@ sim::Co<void> GpuDevice::dma(sim::Mutex& engine, const char* lane, std::uint64_t
   }
   co_await engine.lock();
   sim::Time begin = sim_->now();
+  mark_engine(/*copy=*/true, +1);
   co_await sim_->delay(dma_time(bytes, pinned));
+  mark_engine(/*copy=*/true, -1);
   busy += sim_->now() - begin;
   if (tracer_) tracer_->record(id_ + "/" + lane, label, begin, sim_->now());
   engine.unlock();
@@ -84,7 +98,9 @@ sim::Co<void> GpuDevice::launch(const Kernel& kernel, const std::vector<BufferBi
   kernel.fn(launch);  // real computation on the shadow memory
 
   sim::Duration dur = kernel_duration(kernel, spec_, items, layout);
+  mark_engine(/*copy=*/false, +1);
   co_await sim_->delay(dur);
+  mark_engine(/*copy=*/false, -1);
   kernel_busy_ += dur;
   ++kernels_launched_;
   if (tracer_) {
@@ -117,7 +133,9 @@ sim::Co<void> GpuDevice::launch_mapped(const Kernel& kernel,
   const double bus_s = bytes / spec_.pcie_bandwidth;
   sim::Duration dur = spec_.kernel_launch_overhead +
                       static_cast<sim::Duration>(std::max(compute_s, bus_s) * sim::kSecond);
+  mark_engine(/*copy=*/false, +1);
   co_await sim_->delay(dur);
+  mark_engine(/*copy=*/false, -1);
   kernel_busy_ += dur;
   ++kernels_launched_;
   if (tracer_) {

@@ -75,10 +75,21 @@ class GpuDevice {
   sim::Duration kernel_busy() const { return kernel_busy_; }
   sim::Duration h2d_busy() const { return h2d_busy_; }
   sim::Duration d2h_busy() const { return d2h_busy_; }
+  /// Virtual time during which at least one copy engine and the compute
+  /// engine were busy simultaneously — the time the chunked pipeline (and
+  /// multi-stream execution) actually hides behind kernels.
+  sim::Duration copy_compute_overlap() const { return overlap_ns_; }
+  /// overlap / min(copy busy, kernel busy): 1.0 means every byte moved
+  /// while a kernel ran (perfect hiding); 0 means fully serialized.
+  double overlap_efficiency() const;
 
  private:
   sim::Co<void> dma(sim::Mutex& engine, const char* lane, std::uint64_t bytes, bool pinned,
                     bool off_heap, const std::string& label, sim::Duration& busy);
+
+  /// Engine-activity bookkeeping behind copy_compute_overlap(): called at
+  /// every busy-state transition of a copy or compute engine.
+  void mark_engine(bool copy, int delta);
 
   sim::Simulation* sim_;
   std::string id_;
@@ -96,6 +107,13 @@ class GpuDevice {
   sim::Duration kernel_busy_ = 0;
   sim::Duration h2d_busy_ = 0;
   sim::Duration d2h_busy_ = 0;
+
+  // Copy-compute overlap accounting: between transitions the active sets
+  // are constant, so overlap accrues whenever both counts are non-zero.
+  int active_copies_ = 0;
+  int active_kernels_ = 0;
+  sim::Time last_engine_mark_ = 0;
+  sim::Duration overlap_ns_ = 0;
 
   /// Host-side memcpy bandwidth for JVM-heap staging copies (the cost the
   /// off-heap design removes).

@@ -15,6 +15,14 @@ DeviceMemory::DeviceMemory(std::uint64_t capacity) : capacity_(capacity) {
   free_list_[kBase] = capacity;
 }
 
+bool DeviceMemory::can_allocate(std::uint64_t bytes) const {
+  const std::uint64_t need = align_up(bytes);
+  for (const auto& [base, size] : free_list_) {
+    if (size >= need) return true;
+  }
+  return false;
+}
+
 DevicePtr DeviceMemory::allocate(std::uint64_t bytes) {
   GFLINK_CHECK(bytes > 0);
   const std::uint64_t need = align_up(bytes);

@@ -31,6 +31,11 @@ class DeviceMemory {
   /// First-fit allocation; returns 0 when no hole fits (cudaMalloc OOM).
   DevicePtr allocate(std::uint64_t bytes);
 
+  /// Whether allocate(bytes) would succeed right now: a contiguous hole of
+  /// the aligned size exists (free_bytes() overstates what a fragmented
+  /// heap can satisfy).
+  bool can_allocate(std::uint64_t bytes) const;
+
   /// Free a pointer previously returned by allocate. Coalesces neighbours.
   void free(DevicePtr ptr);
 

@@ -48,12 +48,19 @@ class MemoryManager {
   /// Allocation that ignores the page budget — used for tiny metadata
   /// buffers where modelling backpressure adds nothing.
   HBufferPtr allocate_unbudgeted(std::size_t bytes, bool off_heap = true) {
-    return std::make_shared<HBuffer>(bytes, addresses_.allocate(bytes), off_heap);
+    auto buf = std::make_shared<HBuffer>(bytes, addresses_.allocate(bytes), off_heap);
+    if (off_heap) buf->set_pinned(true);
+    return buf;
   }
 
  private:
   HBufferPtr wrap(std::size_t bytes, std::size_t pages, bool off_heap) {
     auto* raw = new HBuffer(bytes, addresses_.allocate(bytes), off_heap);
+    // Off-heap segments are allocated page-locked (Flink's off-heap memory
+    // is malloc'd outside the GC heap; GFlink registers it with the driver
+    // at allocation so DMA always runs at full PCIe bandwidth instead of
+    // paying the pageable-copy penalty).
+    if (off_heap) raw->set_pinned(true);
     // Custom deleter returns the page budget; MemoryManager must outlive
     // all buffers it vends (owned by the worker, which owns the tasks).
     return HBufferPtr(raw, [this, pages](HBuffer* p) {

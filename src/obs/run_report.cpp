@@ -1,5 +1,6 @@
 #include "obs/run_report.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 namespace gflink::obs {
@@ -45,6 +46,17 @@ void add_derived_gflink_metrics(MetricsRegistry& m) {
   const double loc_misses = m.counter_value("gstream_locality_misses_total");
   m.gauge("locality_hit_ratio")
       .set(loc_hits + loc_misses > 0 ? loc_hits / (loc_hits + loc_misses) : 0.0);
+
+  // Cluster-wide copy-compute overlap efficiency: how much of the hideable
+  // copy time (bounded by min(copy busy, kernel busy) per GPU) actually ran
+  // concurrently with a kernel. The per-GPU gauges carry the local values;
+  // this rolls them up for the headline tables.
+  const double overlap = m.counter_sum("gpu_copy_compute_overlap_ns_total");
+  const double copy_busy =
+      m.counter_sum("gpu_h2d_busy_ns_total") + m.counter_sum("gpu_d2h_busy_ns_total");
+  const double kernel_busy = m.counter_sum("gpu_kernel_busy_ns_total");
+  const double hideable = std::min(copy_busy, kernel_busy);
+  m.gauge("copy_compute_overlap_efficiency").set(hideable > 0 ? overlap / hideable : 0.0);
 }
 
 }  // namespace gflink::obs

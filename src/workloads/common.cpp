@@ -68,6 +68,15 @@ core::GpuManagerConfig make_gpu_config(const Testbed& tb) {
   cfg.streams.streams_per_gpu = tb.streams_per_gpu;
   cfg.streams.idle_timeout = std::max<sim::Duration>(1, scaled(sim::millis(20), s));
   cfg.streams.policy = tb.scheduling;
+  // Chunks scale with the blocks so every block splits into the same number
+  // of chunks as at full size (0 stays 0: chunking disabled).
+  cfg.streams.chunk_bytes =
+      tb.full_chunk_bytes == 0
+          ? 0
+          : std::max<std::uint64_t>(
+                256, static_cast<std::uint64_t>(static_cast<double>(tb.full_chunk_bytes) * s));
+  cfg.streams.staging_slots = tb.staging_slots;
+  cfg.streams.oom_retry_backoff = std::max<sim::Duration>(1, scaled(sim::micros(100), s));
   // The cache region is a user parameter but can never exceed the board:
   // leave a quarter of device memory for transient work buffers.
   cfg.cache_region_bytes = std::max<std::uint64_t>(

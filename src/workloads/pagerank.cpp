@@ -47,12 +47,12 @@ df::DataSet<RankMsg> mapper(const df::DataSet<Page>& pages, Mode mode,
   spec.ptx_path = "/kernels/pagerank.ptx";
   spec.layout = mem::Layout::SoA;
   spec.cache_input = true;  // the adjacency is static
+  spec.chunkable = true;    // contributions are element-wise per page
   spec.cache_namespace = 1;
   spec.out_items = [](std::size_t n) { return n * kOutDegree; };
   spec.make_aux = [ranks, iteration](df::TaskContext& ctx) {
     const std::uint64_t bytes = ranks->size() * sizeof(float);
-    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);
-    buf->set_pinned(true);
+    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);  // pinned off-heap
     buf->write(0, ranks->data(), bytes);
     core::GBuffer aux;
     aux.host = std::move(buf);

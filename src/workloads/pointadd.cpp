@@ -30,6 +30,7 @@ df::DataSet<Pt> mapper(const df::DataSet<Pt>& points, Mode mode, std::uint64_t i
   spec.ptx_path = "/addPoint.ptx";  // the paper's Algorithm 3.1 literal
   spec.layout = mem::Layout::AoS;
   spec.cache_input = true;
+  spec.chunkable = true;  // Algorithm 3.1's map is purely element-wise
   spec.cache_namespace = static_cast<std::uint32_t>(1 + iteration * 0);  // static data
   return core::gpu_dataset_op<Pt, Pt>(points, &pt_desc(), "gpuAddPoint", std::move(spec));
 }

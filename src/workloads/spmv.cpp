@@ -65,11 +65,11 @@ df::DataSet<VecEntry> mapper(const df::DataSet<CsrRow>& rows, Mode mode,
   spec.ptx_path = "/kernels/spmv.ptx";
   spec.layout = mem::Layout::SoA;  // cuSPARSE-style columnar access
   spec.cache_input = gpu_cache;    // the matrix is cached on first touch
+  spec.chunkable = true;           // one output row per input row
   spec.cache_namespace = 1;
   spec.make_aux = [x, iteration, gpu_cache](df::TaskContext& ctx) {
     const std::uint64_t bytes = x->size() * sizeof(float);
-    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);
-    buf->set_pinned(true);
+    auto buf = ctx.worker_state().memory().allocate_unbudgeted(bytes);  // pinned off-heap
     buf->write(0, x->data(), bytes);
     core::GBuffer aux;
     aux.host = std::move(buf);

@@ -3,7 +3,9 @@
 // block-processing layer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <cstring>
 
 #include "core/gdst.hpp"
 #include "core/gmemory_manager.hpp"
@@ -456,6 +458,258 @@ TEST(GStreamManager, MappedMemoryCostsPcieBandwidth) {
   // Both complete; the copy path pays transfers both ways so it is slower
   // for this single one-shot work.
   EXPECT_LT(mapped, copied);
+}
+
+// ---- Chunked transfer/compute pipeline --------------------------------------
+
+namespace {
+
+/// Opt a make_work() GWork into the chunked pipeline: core_double_kv is
+/// element-wise and both buffers are arrays of KV records.
+void make_chunkable(GWork& work) {
+  work.chunkable = true;
+  work.inputs[0].item_stride = sizeof(KV);
+  work.outputs[0].item_stride = sizeof(KV);
+}
+
+/// Single-GPU rig with direct control over the device spec, JNI overhead
+/// and stream config — the StreamFixture's second device and fixed wrapper
+/// overheads get in the way of exact-makespan and memory-layout tests.
+struct SingleGpuFixture {
+  Simulation s;
+  gpu::GpuDevice dev;
+  gpu::CudaStub stub;
+  gpu::CudaWrapper wrap;
+  core::GMemoryManager memory;
+  core::GStreamManager streams;
+  mem::AddressSpace addresses;
+
+  SingleGpuFixture(core::GStreamConfig cfg, gpu::DeviceSpec spec, sim::Duration jni)
+      : dev(s, "gpu0", spec),
+        stub(dev),
+        wrap(stub, jni),
+        memory({&dev}, 1 << 20, core::CachePolicy::Fifo),
+        streams(s, {&wrap}, memory, cfg) {
+    register_test_kernels();
+  }
+};
+
+/// Run one GWork to completion and return its makespan.
+sim::Duration run_work(Simulation& s, core::GStreamManager& streams, const GWorkPtr& work) {
+  s.spawn([](core::GStreamManager& gs, GWorkPtr w) -> Co<void> {
+    co_await gs.run(w);
+  }(streams, work));
+  s.run();
+  EXPECT_TRUE(work->done->fired());
+  return work->finished_at - work->submitted_at;
+}
+
+}  // namespace
+
+TEST(ChunkedPipeline, OutputsMatchMonolithic) {
+  constexpr std::size_t kN = 4096;
+  core::GStreamConfig mono_cfg;
+  mono_cfg.chunk_bytes = 0;
+  StreamFixture mono(mono_cfg);
+  auto mono_work = mono.make_work(kN);
+  make_chunkable(*mono_work);  // eligible, but chunk_bytes = 0 disables it
+  run_work(mono.s, mono.streams, mono_work);
+  EXPECT_EQ(mono.streams.chunked_works(), 0u);
+  EXPECT_EQ(mono_work->executed_chunks, 1u);
+
+  core::GStreamConfig chunk_cfg;
+  chunk_cfg.chunk_bytes = 16 << 10;  // 512 KV records in + out per chunk
+  StreamFixture chunked(chunk_cfg);
+  auto chunk_work = chunked.make_work(kN);
+  make_chunkable(*chunk_work);
+  run_work(chunked.s, chunked.streams, chunk_work);
+  EXPECT_EQ(chunked.streams.chunked_works(), 1u);
+  EXPECT_EQ(chunk_work->executed_chunks, 8u);
+  EXPECT_EQ(chunked.streams.chunks_total(), 8u);
+  EXPECT_EQ(chunked.streams.chunk_fallbacks(), 0u);
+
+  // Bit-identical results: chunking changes the schedule, not the data.
+  EXPECT_EQ(std::memcmp(mono_work->outputs[0].host->data(),
+                        chunk_work->outputs[0].host->data(), kN * sizeof(KV)),
+            0);
+  // The ring was returned in full.
+  EXPECT_EQ(chunked.memory.staging_bytes(0) + chunked.memory.staging_bytes(1), 0u);
+}
+
+TEST(ChunkedPipeline, BeatsMonolithicMakespan) {
+  constexpr std::size_t kN = 4096;
+  core::GStreamConfig mono_cfg;
+  mono_cfg.chunk_bytes = 0;
+  StreamFixture mono(mono_cfg);
+  auto mono_work = mono.make_work(kN);
+  make_chunkable(*mono_work);
+  const sim::Duration serial = run_work(mono.s, mono.streams, mono_work);
+
+  core::GStreamConfig chunk_cfg;
+  chunk_cfg.chunk_bytes = 16 << 10;
+  StreamFixture chunked(chunk_cfg);
+  auto chunk_work = chunked.make_work(kN);
+  make_chunkable(*chunk_work);
+  const sim::Duration pipelined = run_work(chunked.s, chunked.streams, chunk_work);
+
+  // Chunk i+1's H2D hides behind chunk i's kernel and chunk i-1's D2H, and
+  // one ring reservation replaces two cudaMalloc/cudaFree pairs.
+  EXPECT_LT(pipelined, serial);
+  // The device observed genuine copy-compute overlap; the monolithic run,
+  // a single serial H2D -> K -> D2H chain, observed none.
+  const sim::Duration overlap =
+      chunked.dev0.copy_compute_overlap() + chunked.dev1.copy_compute_overlap();
+  EXPECT_GT(overlap, 0);
+  EXPECT_EQ(mono.dev0.copy_compute_overlap() + mono.dev1.copy_compute_overlap(), 0);
+}
+
+TEST(ChunkedPipeline, MakespanMatchesClosedForm) {
+  // With zero JNI/PCIe-latency/launch overheads and an evenly divisible
+  // chunk count, every chunk's three stages take constant durations d_h,
+  // d_k, d_d, and a depth-3 ring gives the textbook pipeline makespan:
+  //   d_h + d_k + d_d + (C-1) * max(d_h, d_k, d_d)
+  // plus the one-off ring reserve/release driver costs.
+  constexpr std::size_t kN = 4096;
+  constexpr std::size_t kItemsPerChunk = 512;
+  constexpr std::size_t kChunks = kN / kItemsPerChunk;
+  core::GStreamConfig cfg;
+  cfg.chunk_bytes = kItemsPerChunk * 2 * sizeof(KV);  // in + out per item
+  cfg.staging_slots = 3;
+  SingleGpuFixture f(cfg, StreamFixture::test_spec(), /*jni=*/0);
+
+  auto in = std::make_shared<mem::HBuffer>(kN * sizeof(KV), f.addresses.allocate(kN * sizeof(KV)));
+  in->set_pinned(true);
+  auto* vals = reinterpret_cast<KV*>(in->data());
+  for (std::size_t i = 0; i < kN; ++i) vals[i] = KV{i, static_cast<std::int64_t>(i)};
+  auto out =
+      std::make_shared<mem::HBuffer>(kN * sizeof(KV), f.addresses.allocate(kN * sizeof(KV)));
+  out->set_pinned(true);
+  auto work = std::make_shared<GWork>();
+  work->execute_name = "core_double_kv";
+  work->size = kN;
+  GBuffer ib;
+  ib.host = in;
+  ib.bytes = kN * sizeof(KV);
+  ib.item_stride = sizeof(KV);
+  work->inputs.push_back(ib);
+  GBuffer ob;
+  ob.host = out;
+  ob.bytes = kN * sizeof(KV);
+  ob.item_stride = sizeof(KV);
+  work->outputs.push_back(ob);
+  work->chunkable = true;
+
+  const sim::Duration makespan = run_work(f.s, f.streams, work);
+  ASSERT_EQ(work->executed_chunks, kChunks);
+
+  const sim::Duration d_h = f.dev.dma_time(kItemsPerChunk * sizeof(KV), /*pinned=*/true);
+  const sim::Duration d_d = d_h;  // symmetric transfer
+  const sim::Duration d_k =
+      gpu::kernel_duration(gpu::KernelRegistry::global().lookup("core_double_kv"),
+                           f.dev.spec(), kItemsPerChunk, work->layout);
+  const sim::Duration bottleneck = std::max({d_h, d_k, d_d});
+  const sim::Duration pipeline =
+      d_h + d_k + d_d + static_cast<sim::Duration>(kChunks - 1) * bottleneck;
+  const auto& oh = f.stub.overheads();
+  EXPECT_EQ(makespan, oh.malloc_cost + pipeline + oh.free_cost);
+
+  const KV* result = reinterpret_cast<const KV*>(out->data());
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[i].value, static_cast<std::int64_t>(2 * i));
+  }
+}
+
+TEST(ChunkedPipeline, IndivisibleAuxBufferTransfersWhole) {
+  // core_add_aux reads aux[0] from every chunk: the aux input is declared
+  // indivisible (item_stride 0), transferred whole before the pipeline
+  // starts, and bound in full to every chunk kernel.
+  constexpr std::size_t kN = 2048;
+  core::GStreamConfig cfg;
+  cfg.chunk_bytes = 16 << 10;
+  StreamFixture f(cfg);
+  auto work = f.make_work(kN);
+  work->execute_name = "core_add_aux";
+  make_chunkable(*work);
+  auto aux = std::make_shared<mem::HBuffer>(sizeof(KV), f.addresses.allocate(sizeof(KV)));
+  aux->set_pinned(true);
+  reinterpret_cast<KV*>(aux->data())[0] = KV{0, 1000};
+  GBuffer ab;
+  ab.host = aux;
+  ab.bytes = sizeof(KV);
+  work->inputs.push_back(ab);  // buffers bind [in, aux, out]
+
+  run_work(f.s, f.streams, work);
+  EXPECT_EQ(f.streams.chunked_works(), 1u);
+  EXPECT_GT(work->executed_chunks, 1u);
+  const KV* result = reinterpret_cast<const KV*>(work->outputs[0].host->data());
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[i].value, static_cast<std::int64_t>(i) + 1000);
+  }
+}
+
+TEST(ChunkedPipeline, StagingFailureFallsBackWithoutDeadlock) {
+  // Device layout: a pinned cache entry the ring must NOT evict, and two
+  // non-adjacent 64 KB holes. The depth-3 ring needs 96 KB contiguous and
+  // cannot get it; the monolithic fallback fits its input and output into
+  // the two holes and completes. No blocking, no eviction of pinned data.
+  constexpr std::size_t kN = 4096;  // 64 KB in + 64 KB out
+  core::GStreamConfig cfg;
+  cfg.chunk_bytes = 32 << 10;  // 1024 items/chunk -> 4 chunks, 32 KB slots
+  cfg.staging_slots = 3;
+  gpu::DeviceSpec spec = StreamFixture::test_spec();
+  spec.device_memory = 512 << 10;
+  SingleGpuFixture f(cfg, spec, sim::nanos(200));
+
+  auto a = f.dev.memory().allocate(128 << 10);
+  ASSERT_TRUE(f.memory.insert(0, /*job=*/1, /*key=*/77, 64 << 10).has_value());  // stays pinned
+  auto b = f.dev.memory().allocate(64 << 10);
+  auto c = f.dev.memory().allocate(128 << 10);
+  auto d = f.dev.memory().allocate(64 << 10);
+  auto e = f.dev.memory().allocate(64 << 10);
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  ASSERT_NE(c, 0u);
+  ASSERT_NE(d, 0u);
+  ASSERT_NE(e, 0u);
+  f.dev.memory().free(b);
+  f.dev.memory().free(d);
+
+  auto in = std::make_shared<mem::HBuffer>(kN * sizeof(KV), f.addresses.allocate(kN * sizeof(KV)));
+  in->set_pinned(true);
+  auto* vals = reinterpret_cast<KV*>(in->data());
+  for (std::size_t i = 0; i < kN; ++i) vals[i] = KV{i, static_cast<std::int64_t>(i)};
+  auto out =
+      std::make_shared<mem::HBuffer>(kN * sizeof(KV), f.addresses.allocate(kN * sizeof(KV)));
+  out->set_pinned(true);
+  auto work = std::make_shared<GWork>();
+  work->execute_name = "core_double_kv";
+  work->size = kN;
+  work->job_id = 1;
+  GBuffer ib;
+  ib.host = in;
+  ib.bytes = kN * sizeof(KV);
+  ib.item_stride = sizeof(KV);
+  work->inputs.push_back(ib);
+  GBuffer ob;
+  ob.host = out;
+  ob.bytes = kN * sizeof(KV);
+  ob.item_stride = sizeof(KV);
+  work->outputs.push_back(ob);
+  work->chunkable = true;
+
+  run_work(f.s, f.streams, work);
+
+  EXPECT_EQ(f.streams.chunk_fallbacks(), 1u);
+  EXPECT_EQ(f.streams.chunked_works(), 0u);
+  EXPECT_EQ(work->executed_chunks, 1u);
+  EXPECT_GE(f.memory.staging_failures(), 1u);
+  EXPECT_EQ(f.memory.staging_bytes(0), 0u);
+  // The pinned cache entry survived the failed reservation attempt.
+  EXPECT_TRUE(f.memory.lookup(0, 1, 77).has_value());
+  const KV* result = reinterpret_cast<const KV*>(out->data());
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[i].value, static_cast<std::int64_t>(2 * i));
+  }
 }
 
 // ---- GDST / GpuManager end-to-end -------------------------------------------

@@ -274,6 +274,67 @@ TEST(GpuDevice, CopyOverlapsKernelThreeStagePipeline) {
   EXPECT_EQ(s.now(), sim::millis(3));
 }
 
+TEST(GpuDevice, OverlapAccountingMeasuresCopyUnderKernel) {
+  // Same two-stream pipeline as above: H2D engine busy [0,2) ms, compute
+  // engine busy [1,3) ms. Copy and kernel are simultaneously active exactly
+  // during [1,2) ms — stream B's copy hiding under stream A's kernel.
+  Simulation s;
+  gpu::GpuDevice dev(s, "gpu0", test_spec(), nullptr);
+  mem::AddressSpace as;
+  mem::HBuffer h(2'000'000, as.allocate(2'000'000));
+  h.set_pinned(true);
+  gpu::Kernel slow;
+  slow.name = "slow";
+  slow.fn = [](gpu::KernelLaunch&) {};
+  slow.cost = {0.0, 100'000.0, 0.0};  // 1000 items -> 1e8 B / 100 GB/s = 1 ms
+
+  sim::WaitGroup wg(s);
+  wg.add(2);
+  for (int st = 0; st < 2; ++st) {
+    s.spawn([](gpu::GpuDevice& d, mem::HBuffer& hb, const gpu::Kernel& k,
+               sim::WaitGroup& w) -> Co<void> {
+      DevicePtr p = d.memory().allocate(1'000'000);
+      co_await d.copy_h2d(hb, 0, p, 1'000'000);
+      std::vector<gpu::GpuDevice::BufferBinding> bind{{p, 1'000'000}};
+      co_await d.launch(k, bind, 1000, mem::Layout::SoA);
+      d.memory().free(p);
+      w.done();
+    }(dev, h, slow, wg));
+  }
+  s.run();
+
+  EXPECT_EQ(dev.copy_compute_overlap(), sim::millis(1));
+  // hideable = min(h2d + d2h busy, kernel busy) = min(2, 2) ms.
+  EXPECT_DOUBLE_EQ(dev.overlap_efficiency(), 0.5);
+}
+
+TEST(GpuDevice, OverlapIsZeroWhenSerial) {
+  // One stream, strictly sequential stages: no two engines are ever busy
+  // at the same instant, so no overlap accrues.
+  Simulation s;
+  gpu::GpuDevice dev(s, "gpu0", test_spec(), nullptr);
+  mem::AddressSpace as;
+  mem::HBuffer h(1'000'000, as.allocate(1'000'000));
+  h.set_pinned(true);
+  gpu::Kernel slow;
+  slow.name = "slow";
+  slow.fn = [](gpu::KernelLaunch&) {};
+  slow.cost = {0.0, 100'000.0, 0.0};
+
+  s.spawn([](gpu::GpuDevice& d, mem::HBuffer& hb, const gpu::Kernel& k) -> Co<void> {
+    DevicePtr p = d.memory().allocate(1'000'000);
+    co_await d.copy_h2d(hb, 0, p, 1'000'000);
+    std::vector<gpu::GpuDevice::BufferBinding> bind{{p, 1'000'000}};
+    co_await d.launch(k, bind, 1000, mem::Layout::SoA);
+    co_await d.copy_d2h(p, hb, 0, 1'000'000);
+    d.memory().free(p);
+  }(dev, h, slow));
+  s.run();
+
+  EXPECT_EQ(dev.copy_compute_overlap(), 0);
+  EXPECT_DOUBLE_EQ(dev.overlap_efficiency(), 0.0);
+}
+
 TEST(CudaStub, MallocFreeCostsAndOom) {
   Simulation s;
   auto spec = test_spec();

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Regenerate (or check) the EXPERIMENTS.md chunked-pipeline table.
+
+Reads BENCH_ablation_pipeline.json (a gflink.run_report/v1 written by
+bench/bench_ablation_pipeline), renders the markdown table between the
+`<!-- pipeline-ablation:begin -->` / `<!-- pipeline-ablation:end -->`
+markers in EXPERIMENTS.md, and either rewrites the file in place (default)
+or, with --check, fails if the committed numbers drift from the fresh run
+by more than --tolerance (relative) or if no chunked configuration is
+strictly faster than the monolithic baseline.
+
+Usage:
+  tools/gen_pipeline_table.py --report BENCH_ablation_pipeline.json [--check]
+      [--experiments EXPERIMENTS.md] [--tolerance 0.05]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+CHUNKS = ["monolithic", "256KB", "1MB", "4MB"]
+BEGIN = "<!-- pipeline-ablation:begin -->"
+END = "<!-- pipeline-ablation:end -->"
+
+
+def load_gauges(report_path):
+    with open(report_path) as f:
+        report = json.load(f)
+    gauges = {}
+    for gauge in report.get("metrics", {}).get("gauges", []):
+        name = gauge.get("name", "")
+        if not name.startswith("ablation_pipeline_"):
+            continue
+        chunk = gauge.get("labels", {}).get("chunk")
+        if chunk is None:
+            continue
+        gauges.setdefault(chunk, {})[name] = float(gauge["value"])
+    missing = [c for c in CHUNKS if c not in gauges
+               or "ablation_pipeline_seconds" not in gauges[c]]
+    if missing:
+        sys.exit(f"error: {report_path} is missing chunk configs {missing}; "
+                 "re-run bench_ablation_pipeline")
+    return gauges
+
+
+def render_table(gauges):
+    mono = gauges["monolithic"]["ablation_pipeline_seconds"]
+    lines = [
+        "| Chunk size | Makespan (s, 64×4 MB blocks, 1 stream) "
+        "| vs. monolithic | Copy-compute overlap |",
+        "|---|---|---|---|",
+    ]
+    for chunk in CHUNKS:
+        g = gauges[chunk]
+        secs = g["ablation_pipeline_seconds"]
+        overlap = g.get("ablation_pipeline_overlap_efficiency", 0.0)
+        lines.append(f"| {chunk} | {secs:.4f} | {mono / secs:.2f}x "
+                     f"| {overlap:.0%} |")
+    return "\n".join(lines)
+
+
+def parse_committed(block):
+    committed = {}
+    for match in re.finditer(r"^\| (\S[^|]*?) \| ([0-9.]+) \|", block, re.M):
+        committed[match.group(1).strip()] = float(match.group(2))
+    return committed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", default="BENCH_ablation_pipeline.json")
+    ap.add_argument("--experiments", default="EXPERIMENTS.md")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative drift per config in --check")
+    ap.add_argument("--check", action="store_true",
+                    help="fail on drift instead of rewriting the table")
+    args = ap.parse_args()
+
+    gauges = load_gauges(args.report)
+    mono = gauges["monolithic"]["ablation_pipeline_seconds"]
+    best = min(gauges[c]["ablation_pipeline_seconds"] for c in CHUNKS if c != "monolithic")
+    if best >= mono:
+        sys.exit("error: no chunked configuration beats the monolithic baseline "
+                 f"(best {best:.4f} vs monolithic {mono:.4f} s)")
+
+    with open(args.experiments) as f:
+        text = f.read()
+    pattern = re.compile(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.S)
+    found = pattern.search(text)
+    if not found:
+        sys.exit(f"error: {args.experiments} lacks the {BEGIN} ... {END} markers")
+
+    if args.check:
+        committed = parse_committed(found.group(1))
+        failures = []
+        for chunk in CHUNKS:
+            secs = gauges[chunk]["ablation_pipeline_seconds"]
+            if chunk not in committed:
+                failures.append(f"config '{chunk}' missing from committed table")
+                continue
+            drift = abs(committed[chunk] - secs) / secs
+            if drift > args.tolerance:
+                failures.append(
+                    f"{chunk}: committed {committed[chunk]:.4f} s vs measured "
+                    f"{secs:.4f} s (drift {drift:.1%} > {args.tolerance:.0%})")
+        if failures:
+            sys.exit("EXPERIMENTS.md pipeline-ablation table drifted:\n  "
+                     + "\n  ".join(failures)
+                     + "\nRegenerate with tools/gen_pipeline_table.py")
+        print("pipeline-ablation table matches the fresh run")
+        return
+
+    replacement = f"{BEGIN}\n{render_table(gauges)}\n{END}"
+    with open(args.experiments, "w") as f:
+        f.write(pattern.sub(lambda _: replacement, text))
+    print(f"updated {args.experiments}")
+
+
+if __name__ == "__main__":
+    main()

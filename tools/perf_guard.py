@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Performance guard: compare fresh BENCH_*.json run reports against the
+committed baselines in bench/baselines.json and fail on regressions.
+
+The simulator is deterministic, so `virtual_ns` (total simulated time
+accumulated across a bench binary's cases) and the recorded gauges are
+exactly reproducible; any drift comes from a code change. The guard is
+one-sided: a bench may get *faster* than its baseline (prints a hint to
+refresh), but slowing down beyond the tolerance fails.
+
+Usage:
+  tools/perf_guard.py --reports-dir bench-artifacts          # check (CI)
+  tools/perf_guard.py --reports-dir bench-artifacts --update # refresh file
+
+Baseline format (bench/baselines.json):
+  {
+    "tolerance": 0.02,
+    "benches": {
+      "<name>": {
+        "virtual_ns": <int>,
+        "gauges": {"<gauge>{<label>=<value>}": <float>, ...}
+      }
+    }
+  }
+Only benches present in the baseline file are checked; gauges listed there
+must exist in the fresh report.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def gauge_key(name, labels):
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}" if inner else name
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    gauges = {}
+    for gauge in report.get("metrics", {}).get("gauges", []):
+        gauges[gauge_key(gauge.get("name", ""), gauge.get("labels", {}))] = \
+            float(gauge.get("value", 0.0))
+    return {"virtual_ns": int(report.get("virtual_ns", 0)), "gauges": gauges}
+
+
+def check(baselines, reports_dir):
+    tolerance = float(baselines.get("tolerance", 0.02))
+    failures, improvements = [], []
+    for name, base in baselines.get("benches", {}).items():
+        path = os.path.join(reports_dir, f"BENCH_{name}.json")
+        if not os.path.exists(path):
+            failures.append(f"{name}: report {path} missing (bench not run?)")
+            continue
+        fresh = load_report(path)
+
+        base_ns = int(base.get("virtual_ns", 0))
+        if base_ns > 0:
+            ratio = fresh["virtual_ns"] / base_ns
+            if ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{name}: virtual_ns regressed {ratio - 1.0:.1%} "
+                    f"({fresh['virtual_ns']} vs baseline {base_ns})")
+            elif ratio < 1.0 - tolerance:
+                improvements.append(
+                    f"{name}: virtual_ns improved {1.0 - ratio:.1%} "
+                    "— refresh with tools/perf_guard.py --update")
+
+        for key, base_value in base.get("gauges", {}).items():
+            if key not in fresh["gauges"]:
+                failures.append(f"{name}: gauge {key} missing from fresh report")
+                continue
+            value = fresh["gauges"][key]
+            if base_value <= 0:
+                continue
+            ratio = value / base_value
+            # Gauges guarded here are durations (seconds): bigger is worse.
+            if ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{name}: {key} regressed {ratio - 1.0:.1%} "
+                    f"({value:.6g} vs baseline {base_value:.6g})")
+            elif ratio < 1.0 - tolerance:
+                improvements.append(
+                    f"{name}: {key} improved {1.0 - ratio:.1%} "
+                    "— refresh with tools/perf_guard.py --update")
+    return failures, improvements
+
+
+def update(baselines, reports_dir):
+    for name, base in baselines.get("benches", {}).items():
+        path = os.path.join(reports_dir, f"BENCH_{name}.json")
+        if not os.path.exists(path):
+            sys.exit(f"error: cannot update baseline for {name}: {path} missing")
+        fresh = load_report(path)
+        base["virtual_ns"] = fresh["virtual_ns"]
+        for key in list(base.get("gauges", {})):
+            if key not in fresh["gauges"]:
+                sys.exit(f"error: gauge {key} absent from fresh {name} report")
+            base["gauges"][key] = fresh["gauges"][key]
+    return baselines
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baselines", default="bench/baselines.json")
+    ap.add_argument("--reports-dir", default=".")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline file from the fresh reports")
+    args = ap.parse_args()
+
+    with open(args.baselines) as f:
+        baselines = json.load(f)
+
+    if args.update:
+        refreshed = update(baselines, args.reports_dir)
+        with open(args.baselines, "w") as f:
+            json.dump(refreshed, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"updated {args.baselines}")
+        return
+
+    failures, improvements = check(baselines, args.reports_dir)
+    for line in improvements:
+        print(f"note: {line}")
+    if failures:
+        sys.exit("performance regressions detected:\n  " + "\n  ".join(failures))
+    print(f"perf guard passed for {len(baselines.get('benches', {}))} bench(es)")
+
+
+if __name__ == "__main__":
+    main()
