@@ -18,31 +18,34 @@ const GMemoryManager::Region* GMemoryManager::find_region(int device, std::uint6
 
 std::optional<GMemoryManager::CacheEntry> GMemoryManager::lookup(int device, std::uint64_t job,
                                                                  std::uint64_t key) const {
+  core::MutexLock lock(mu_);
   const Region* r = find_region(device, job);
   if (r == nullptr) return std::nullopt;
   auto it = r->table.find(key);
   if (it == r->table.end()) return std::nullopt;
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second.entry;
 }
 
 std::optional<GMemoryManager::CacheEntry> GMemoryManager::lookup_pinned(int device,
                                                                         std::uint64_t job,
                                                                         std::uint64_t key) {
+  core::MutexLock lock(mu_);
   Region* r = find_region(device, job);
   if (r == nullptr) return std::nullopt;
   auto it = r->table.find(key);
   if (it == r->table.end()) return std::nullopt;
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   ++it->second.pins;
-  ++pins_;
+  pins_.fetch_add(1, std::memory_order_relaxed);
   return it->second.entry;
 }
 
 std::optional<GMemoryManager::CacheEntry> GMemoryManager::insert(int device, std::uint64_t job,
                                                                  std::uint64_t key,
                                                                  std::uint64_t bytes) {
-  ++misses_;
+  core::MutexLock lock(mu_);
+  misses_.fetch_add(1, std::memory_order_relaxed);
   if (bytes > region_capacity_) return std::nullopt;  // can never fit
   auto& jobs = regions_.at(static_cast<std::size_t>(device));
   Region& r = jobs[job];  // region lazily "reserved" on first touch
@@ -78,7 +81,7 @@ std::optional<GMemoryManager::CacheEntry> GMemoryManager::insert(int device, std
       r.used -= it->second.entry.bytes;
       r.table.erase(it);
       std::erase(r.fifo, victim);
-      ++evictions_;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -87,7 +90,7 @@ std::optional<GMemoryManager::CacheEntry> GMemoryManager::insert(int device, std
   Slot slot;
   slot.entry = CacheEntry{ptr, bytes};
   slot.pins = 1;  // returned pinned for the inserting GWork
-  ++pins_;
+  pins_.fetch_add(1, std::memory_order_relaxed);
   r.table.emplace(key, slot);
   r.fifo.push_back(key);
   r.used += bytes;
@@ -95,6 +98,7 @@ std::optional<GMemoryManager::CacheEntry> GMemoryManager::insert(int device, std
 }
 
 void GMemoryManager::unpin(int device, std::uint64_t job, std::uint64_t key) {
+  core::MutexLock lock(mu_);
   Region* r = find_region(device, job);
   if (r == nullptr) return;  // job already released
   auto it = r->table.find(key);
@@ -104,6 +108,7 @@ void GMemoryManager::unpin(int device, std::uint64_t job, std::uint64_t key) {
 }
 
 bool GMemoryManager::erase(int device, std::uint64_t job, std::uint64_t key) {
+  core::MutexLock lock(mu_);
   Region* r = find_region(device, job);
   if (r == nullptr) return false;
   auto it = r->table.find(key);
@@ -119,6 +124,11 @@ bool GMemoryManager::erase(int device, std::uint64_t job, std::uint64_t key) {
 }
 
 bool GMemoryManager::evict_for_space(int device, std::uint64_t job, std::uint64_t bytes) {
+  core::MutexLock lock(mu_);
+  return evict_for_space_locked(device, job, bytes);
+}
+
+bool GMemoryManager::evict_for_space_locked(int device, std::uint64_t job, std::uint64_t bytes) {
   // Contiguity-aware: free_bytes() can exceed `bytes` while no single hole
   // fits (the fragmented-heap case); keep evicting until a hole does.
   gpu::GpuDevice& dev = *devices_.at(static_cast<std::size_t>(device));
@@ -141,34 +151,37 @@ bool GMemoryManager::evict_for_space(int device, std::uint64_t job, std::uint64_
     r->used -= slot->second.entry.bytes;
     r->table.erase(slot);
     r->fifo.erase(victim);
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   return dev.memory().can_allocate(bytes);
 }
 
 gpu::DevicePtr GMemoryManager::reserve_staging(int device, std::uint64_t job,
                                                std::uint64_t bytes) {
+  core::MutexLock lock(mu_);
   gpu::GpuDevice& dev = *devices_.at(static_cast<std::size_t>(device));
   gpu::DevicePtr ptr = dev.memory().allocate(bytes);
-  if (ptr == 0 && evict_for_space(device, job, bytes)) {
+  if (ptr == 0 && evict_for_space_locked(device, job, bytes)) {
     ptr = dev.memory().allocate(bytes);
   }
   if (ptr == 0) {
-    ++staging_failures_;
+    staging_failures_.fetch_add(1, std::memory_order_relaxed);
     return 0;
   }
-  ++staging_reservations_;
+  staging_reservations_.fetch_add(1, std::memory_order_relaxed);
   staging_bytes_.at(static_cast<std::size_t>(device)) += dev.memory().allocation_size(ptr);
   return ptr;
 }
 
 void GMemoryManager::release_staging(int device, gpu::DevicePtr ptr) {
+  core::MutexLock lock(mu_);
   gpu::GpuDevice& dev = *devices_.at(static_cast<std::size_t>(device));
   staging_bytes_.at(static_cast<std::size_t>(device)) -= dev.memory().allocation_size(ptr);
   dev.memory().free(ptr);
 }
 
 void GMemoryManager::release_job(std::uint64_t job) {
+  core::MutexLock lock(mu_);
   for (std::size_t d = 0; d < regions_.size(); ++d) {
     auto it = regions_[d].find(job);
     if (it == regions_[d].end()) continue;
@@ -180,6 +193,11 @@ void GMemoryManager::release_job(std::uint64_t job) {
 }
 
 std::uint64_t GMemoryManager::cached_input_bytes(int device, const GWork& work) const {
+  core::MutexLock lock(mu_);
+  return cached_input_bytes_locked(device, work);
+}
+
+std::uint64_t GMemoryManager::cached_input_bytes_locked(int device, const GWork& work) const {
   const Region* r = find_region(device, work.job_id);
   if (r == nullptr) return 0;
   std::uint64_t total = 0;
@@ -192,10 +210,13 @@ std::uint64_t GMemoryManager::cached_input_bytes(int device, const GWork& work) 
 }
 
 int GMemoryManager::best_device_for(const GWork& work) const {
+  // One lock for the whole scan so the answer is a consistent snapshot
+  // across devices.
+  core::MutexLock lock(mu_);
   int best = -1;
   std::uint64_t best_bytes = 0;
   for (int d = 0; d < num_devices(); ++d) {
-    const std::uint64_t bytes = cached_input_bytes(d, work);
+    const std::uint64_t bytes = cached_input_bytes_locked(d, work);
     if (bytes > best_bytes) {
       best_bytes = bytes;
       best = d;
@@ -205,6 +226,7 @@ int GMemoryManager::best_device_for(const GWork& work) const {
 }
 
 std::uint64_t GMemoryManager::cached_bytes(int device, std::uint64_t job) const {
+  core::MutexLock lock(mu_);
   const Region* r = find_region(device, job);
   return r == nullptr ? 0 : r->used;
 }

@@ -15,12 +15,14 @@
 //    cached bytes of a GWork's inputs.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/gwork.hpp"
+#include "core/thread_annotations.hpp"
 #include "gpu/device.hpp"
 
 namespace gflink::core {
@@ -90,6 +92,7 @@ class GMemoryManager {
 
   /// Bytes currently reserved as staging rings on `device`.
   std::uint64_t staging_bytes(int device) const {
+    core::MutexLock lock(mu_);
     return staging_bytes_.empty() ? 0 : staging_bytes_.at(static_cast<std::size_t>(device));
   }
 
@@ -100,16 +103,22 @@ class GMemoryManager {
   /// Bytes of `work`'s inputs already cached on `device`.
   std::uint64_t cached_input_bytes(int device, const GWork& work) const;
 
-  // Statistics.
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t evictions() const { return evictions_; }
-  std::uint64_t pins() const { return pins_; }
-  std::uint64_t staging_reservations() const { return staging_reservations_; }
-  std::uint64_t staging_failures() const { return staging_failures_; }
+  // Statistics. Monotonic counters are relaxed atomics so readers (metric
+  // export) never contend with the table mutex.
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  std::uint64_t pins() const { return pins_.load(std::memory_order_relaxed); }
+  std::uint64_t staging_reservations() const {
+    return staging_reservations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t staging_failures() const {
+    return staging_failures_.load(std::memory_order_relaxed);
+  }
   std::uint64_t cached_bytes(int device, std::uint64_t job) const;
   /// Bytes currently occupied by cache regions on `device`, across jobs.
   std::uint64_t region_used(int device) const {
+    core::MutexLock lock(mu_);
     std::uint64_t used = 0;
     for (const auto& [job, region] : regions_.at(static_cast<std::size_t>(device))) {
       used += region.used;
@@ -131,20 +140,28 @@ class GMemoryManager {
   // Per-device map: job id -> region.
   using JobRegions = std::unordered_map<std::uint64_t, Region>;
 
-  Region* find_region(int device, std::uint64_t job);
-  const Region* find_region(int device, std::uint64_t job) const;
+  Region* find_region(int device, std::uint64_t job) GFLINK_REQUIRES(mu_);
+  const Region* find_region(int device, std::uint64_t job) const GFLINK_REQUIRES(mu_);
+  bool evict_for_space_locked(int device, std::uint64_t job, std::uint64_t bytes)
+      GFLINK_REQUIRES(mu_);
+  std::uint64_t cached_input_bytes_locked(int device, const GWork& work) const
+      GFLINK_REQUIRES(mu_);
 
   std::vector<gpu::GpuDevice*> devices_;
   std::uint64_t region_capacity_;
   CachePolicy policy_;
-  std::vector<JobRegions> regions_;
-  std::vector<std::uint64_t> staging_bytes_;
-  mutable std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t pins_ = 0;
-  std::uint64_t staging_reservations_ = 0;
-  std::uint64_t staging_failures_ = 0;
+  /// Guards the region tables and the staging accounting. Lock order:
+  /// GMemoryManager::mu_ is acquired *before* DeviceMemory::mu_ —
+  /// insert/evict/staging call dev.memory().allocate/free while held.
+  mutable core::Mutex mu_;
+  std::vector<JobRegions> regions_ GFLINK_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> staging_bytes_ GFLINK_GUARDED_BY(mu_);
+  mutable std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> pins_{0};
+  std::atomic<std::uint64_t> staging_reservations_{0};
+  std::atomic<std::uint64_t> staging_failures_{0};
 };
 
 }  // namespace gflink::core

@@ -1,0 +1,93 @@
+// Clang thread-safety annotations and the annotated host-plane mutex.
+//
+// GFlink has two concurrency planes (docs/ARCHITECTURE.md, "Concurrency
+// invariants & lock hierarchy"):
+//  * the simulation plane — coroutines multiplexed on one thread by
+//    sim::Simulation; its state (sim::*, GWork queues, stream bulks) is
+//    simulation-thread-confined and needs no locks;
+//  * the host plane — objects that outlive or sit beside the event loop
+//    (metric registries, cache/region tables, DFS metadata, shuffle
+//    accounting) and are touched by constructors, exporters, report
+//    writers and external driver threads.
+// Host-plane shared state is guarded by core::Mutex and annotated with the
+// macros below so `clang++ -Wthread-safety -Werror=thread-safety` proves
+// the lock discipline at compile time. GCC compiles the macros away.
+//
+// Rules enforced by tools/gflint.py:
+//  * never declare a raw std::mutex member — use core::Mutex so the
+//    capability attributes exist on every toolchain;
+//  * every core::Mutex member must be referenced by at least one
+//    GFLINK_GUARDED_BY / GFLINK_PT_GUARDED_BY / GFLINK_REQUIRES /
+//    GFLINK_ACQUIRE / GFLINK_EXCLUDES annotation in the same file.
+//
+// Never hold a core::Mutex across a co_await: suspension can resume the
+// coroutine after arbitrary other work, and std::mutex is not recursive.
+// Lock, mutate, unlock — then await.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define GFLINK_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define GFLINK_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability (clang: `capability("mutex")`).
+#define GFLINK_CAPABILITY(x) GFLINK_THREAD_ANNOTATION__(capability(x))
+/// Marks an RAII type whose lifetime equals a critical section.
+#define GFLINK_SCOPED_CAPABILITY GFLINK_THREAD_ANNOTATION__(scoped_lockable)
+/// Data member readable/writable only while holding the given mutex.
+#define GFLINK_GUARDED_BY(x) GFLINK_THREAD_ANNOTATION__(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define GFLINK_PT_GUARDED_BY(x) GFLINK_THREAD_ANNOTATION__(pt_guarded_by(x))
+/// Function requires the given mutex(es) to be held by the caller.
+#define GFLINK_REQUIRES(...) GFLINK_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+/// Function acquires the mutex(es) and holds them on return.
+#define GFLINK_ACQUIRE(...) GFLINK_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+/// Function releases the mutex(es).
+#define GFLINK_RELEASE(...) GFLINK_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+/// Function acquires the mutex iff it returns the given value.
+#define GFLINK_TRY_ACQUIRE(...) GFLINK_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+/// Function must be called WITHOUT the mutex(es) held (deadlock guard).
+#define GFLINK_EXCLUDES(...) GFLINK_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Declares lock-ordering: this mutex is acquired before the listed ones.
+#define GFLINK_ACQUIRED_BEFORE(...) GFLINK_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+/// Declares lock-ordering: this mutex is acquired after the listed ones.
+#define GFLINK_ACQUIRED_AFTER(...) GFLINK_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+/// Escape hatch for quiescent-state accessors (document why at each use).
+#define GFLINK_NO_THREAD_SAFETY_ANALYSIS GFLINK_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace gflink::core {
+
+/// Host-plane mutex: std::mutex with the capability attributes clang's
+/// analysis needs (libstdc++ ships std::mutex without them). Use this —
+/// never raw std::mutex — for any member guarding host-plane shared state.
+class GFLINK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GFLINK_ACQUIRE() { mu_.lock(); }
+  void unlock() GFLINK_RELEASE() { mu_.unlock(); }
+  bool try_lock() GFLINK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII critical section over core::Mutex (the std::lock_guard shape, but
+/// visible to the analysis as a scoped capability).
+class GFLINK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GFLINK_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() GFLINK_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace gflink::core

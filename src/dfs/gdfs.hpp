@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "net/cluster.hpp"
 #include "sim/random.hpp"
 
@@ -48,10 +49,13 @@ class Gdfs {
   Gdfs(net::Cluster& cluster, const GdfsConfig& config = {});
 
   /// Create a file of `size` bytes; blocks are placed round-robin (primary)
-  /// with additional replicas drawn deterministically. Metadata only.
+  /// with additional replicas drawn deterministically. Metadata only. The
+  /// returned reference is node-stable: later creates never invalidate it.
   const FileInfo& create_file(const std::string& path, std::uint64_t size);
 
-  /// Look up file metadata; nullptr if absent.
+  /// Look up file metadata; nullptr if absent. The pointer is node-stable,
+  /// but the FileInfo's block list may grow under a concurrent append —
+  /// iterate it only while no writer is active on the same path.
   const FileInfo* stat(const std::string& path) const;
 
   bool exists(const std::string& path) const { return stat(path) != nullptr; }
@@ -86,15 +90,21 @@ class Gdfs {
   net::Cluster& cluster() { return *cluster_; }
 
  private:
-  std::vector<int> place_block();
+  std::vector<int> place_block() GFLINK_REQUIRES(mu_);
+  const FileInfo& create_file_locked(const std::string& path, std::uint64_t size)
+      GFLINK_REQUIRES(mu_);
 
   net::Cluster* cluster_;
   GdfsConfig config_;
-  sim::Rng rng_;
   std::function<bool(int)> alive_;
-  std::map<std::string, FileInfo> files_;
-  std::uint64_t next_file_id_ = 1;
-  int next_primary_ = 0;  // round-robin cursor over workers
+  /// Guards the namenode metadata (file table, id/placement cursors, the
+  /// placement RNG). Leaf lock; write()/read paths lock only around their
+  /// metadata phases, never across the simulated I/O awaits.
+  mutable core::Mutex mu_;
+  sim::Rng rng_ GFLINK_GUARDED_BY(mu_);
+  std::map<std::string, FileInfo> files_ GFLINK_GUARDED_BY(mu_);
+  std::uint64_t next_file_id_ GFLINK_GUARDED_BY(mu_) = 1;
+  int next_primary_ GFLINK_GUARDED_BY(mu_) = 0;  // round-robin cursor over workers
 };
 
 }  // namespace gflink::dfs

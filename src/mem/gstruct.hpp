@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "sim/util.hpp"
@@ -122,4 +123,38 @@ enum class Layout : std::uint8_t { AoS, SoA, AoP };
 
 const char* layout_name(Layout l);
 
+namespace detail {
+
+/// Backing check of GSTRUCT_MIRROR_CHECK: runs during static
+/// initialization and aborts loudly (before any test or workload executes)
+/// when the descriptor disagrees with the host mirror struct's layout.
+template <typename T>
+bool check_mirror(const StructDesc& (*desc_fn)(), const char* what) {
+  const StructDesc& d = desc_fn();
+  GFLINK_CHECK_MSG(d.matches_host_layout<T>(),
+                   std::string("GStruct mirror/descriptor layout mismatch: ") + what);
+  return true;
+}
+
+}  // namespace detail
+
 }  // namespace gflink::mem
+
+/// Declares, at namespace scope of a .cpp file, that mirror struct `T` and
+/// descriptor accessor `desc_fn` (a `const StructDesc& (*)()`) must agree:
+///  * compile time — T must be standard-layout and trivially copyable (the
+///    preconditions for reinterpreting raw GStruct bytes as T);
+///  * static-initialization time — the descriptor's computed offsets and
+///    stride must equal the host layout (matches_host_layout<T>).
+/// Every workload translation unit that reinterprets batch bytes as a
+/// mirror struct must carry one of these per (T, desc) pair; tools/gflint.py
+/// enforces that (rule R4). The anonymous namespace keeps the check's
+/// linkage TU-local, so the same pair may be checked in several files.
+#define GSTRUCT_MIRROR_CHECK(T, desc_fn)                                                     \
+  static_assert(std::is_standard_layout_v<T>, #T " must be standard-layout");                \
+  static_assert(std::is_trivially_copyable_v<T>, #T " must be trivially copyable");          \
+  namespace {                                                                                \
+  [[maybe_unused]] const bool gflink_mirror_check_##T =                                      \
+      ::gflink::mem::detail::check_mirror<T>(&desc_fn, #T " vs " #desc_fn "()");             \
+  }                                                                                          \
+  static_assert(true, "require a trailing semicolon")

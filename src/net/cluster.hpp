@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
@@ -71,11 +72,18 @@ class Pipe {
     const Time requested = sim_->now();
     co_await mutex_.lock();
     Time begin = sim_->now();
-    queue_wait_ns_ += begin - requested;  // time spent behind earlier transfers
+    {
+      // Synchronous section: stats_mu_ is never held across a co_await.
+      core::MutexLock lock(stats_mu_);
+      queue_wait_ns_ += begin - requested;  // time spent behind earlier transfers
+    }
     co_await sim_->delay(latency_ + sim::transfer_time(bytes, bandwidth_));
-    bytes_moved_ += bytes;
-    ++transfers_;
-    busy_ns_ += sim_->now() - begin;
+    {
+      core::MutexLock lock(stats_mu_);
+      bytes_moved_ += bytes;
+      ++transfers_;
+      busy_ns_ += sim_->now() - begin;
+    }
     if (tracer_) tracer_->record(name_, label, begin, sim_->now());
     mutex_.unlock();
   }
@@ -87,16 +95,28 @@ class Pipe {
 
   const std::string& name() const { return name_; }
   double bandwidth() const { return bandwidth_; }
-  std::uint64_t bytes_moved() const { return bytes_moved_; }
-  std::uint64_t transfers() const { return transfers_; }
+  std::uint64_t bytes_moved() const {
+    core::MutexLock lock(stats_mu_);
+    return bytes_moved_;
+  }
+  std::uint64_t transfers() const {
+    core::MutexLock lock(stats_mu_);
+    return transfers_;
+  }
   bool busy() const { return mutex_.locked(); }
   /// Total time the pipe was occupied by transfers.
-  Duration busy_time() const { return busy_ns_; }
+  Duration busy_time() const {
+    core::MutexLock lock(stats_mu_);
+    return busy_ns_;
+  }
   /// Total time transfers spent queued behind earlier ones.
-  Duration queue_wait() const { return queue_wait_ns_; }
+  Duration queue_wait() const {
+    core::MutexLock lock(stats_mu_);
+    return queue_wait_ns_;
+  }
   /// Fraction of [0, horizon] the pipe was busy.
   double utilization(Time horizon) const {
-    return horizon > 0 ? static_cast<double>(busy_ns_) / static_cast<double>(horizon) : 0.0;
+    return horizon > 0 ? static_cast<double>(busy_time()) / static_cast<double>(horizon) : 0.0;
   }
 
   /// Publish this pipe's totals into a metrics registry, labeled by pipe
@@ -104,6 +124,7 @@ class Pipe {
   /// run into a fresh or accumulating registry).
   void export_metrics(obs::MetricsRegistry& out) const {
     const obs::Labels l{{"pipe", name_}};
+    core::MutexLock lock(stats_mu_);
     out.counter("net_pipe_bytes_total", l).inc(static_cast<double>(bytes_moved_));
     out.counter("net_pipe_transfers_total", l).inc(static_cast<double>(transfers_));
     out.counter("net_pipe_busy_ns_total", l).inc(static_cast<double>(busy_ns_));
@@ -115,12 +136,16 @@ class Pipe {
   std::string name_;
   double bandwidth_;
   Duration latency_;
-  sim::Mutex mutex_;
+  sim::Mutex mutex_;  // the simulated resource itself (FIFO occupancy)
   sim::Tracer* tracer_;
-  std::uint64_t bytes_moved_ = 0;
-  std::uint64_t transfers_ = 0;
-  Duration busy_ns_ = 0;
-  Duration queue_wait_ns_ = 0;
+  /// Guards the stats below as one consistent tuple (bytes+count+durations
+  /// move together, so individual atomics would tear the snapshot). Leaf
+  /// lock; never held across a co_await.
+  mutable core::Mutex stats_mu_;
+  std::uint64_t bytes_moved_ GFLINK_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t transfers_ GFLINK_GUARDED_BY(stats_mu_) = 0;
+  Duration busy_ns_ GFLINK_GUARDED_BY(stats_mu_) = 0;
+  Duration queue_wait_ns_ GFLINK_GUARDED_BY(stats_mu_) = 0;
 };
 
 /// One machine in the cluster.

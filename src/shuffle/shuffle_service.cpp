@@ -30,36 +30,59 @@ ShuffleService::ShuffleService(sim::Simulation& sim, net::Cluster& cluster, dfs:
 }
 
 std::uint64_t ShuffleService::resident_bytes(int worker) const {
+  core::MutexLock lock(mu_);
   return resident_.at(static_cast<std::size_t>(worker));
 }
 
 void ShuffleService::add_resident(int worker, std::uint64_t bytes) {
+  core::MutexLock lock(mu_);
   resident_.at(static_cast<std::size_t>(worker)) += bytes;
 }
 
 void ShuffleService::sub_resident(int worker, std::uint64_t bytes) {
+  core::MutexLock lock(mu_);
   auto& r = resident_.at(static_cast<std::size_t>(worker));
   GFLINK_CHECK_MSG(r >= bytes, "exchange resident-byte accounting went negative");
   r -= bytes;
 }
 
 void ShuffleService::block_started() {
-  ++in_flight_;
-  max_in_flight_ = std::max(max_in_flight_, in_flight_);
-  metrics().gauge("shuffle_blocks_in_flight").set(static_cast<double>(in_flight_));
+  std::int64_t now_in_flight;
+  {
+    core::MutexLock lock(mu_);
+    now_in_flight = ++in_flight_;
+    max_in_flight_ = std::max(max_in_flight_, in_flight_);
+  }
+  // Publish after release: the registry takes its own (leaf) lock.
+  metrics().gauge("shuffle_blocks_in_flight").set(static_cast<double>(now_in_flight));
 }
 
 void ShuffleService::block_finished() {
-  --in_flight_;
-  metrics().gauge("shuffle_blocks_in_flight").set(static_cast<double>(in_flight_));
+  std::int64_t now_in_flight;
+  {
+    core::MutexLock lock(mu_);
+    now_in_flight = --in_flight_;
+  }
+  metrics().gauge("shuffle_blocks_in_flight").set(static_cast<double>(now_in_flight));
+}
+
+bool ShuffleService::consume_injected_fault() {
+  core::MutexLock lock(mu_);
+  if (injected_faults_ <= 0) return false;
+  --injected_faults_;
+  return true;
+}
+
+std::uint64_t ShuffleService::allocate_session_id() {
+  core::MutexLock lock(mu_);
+  return next_session_id_++;
 }
 
 sim::Co<bool> ShuffleService::transfer_block(int src, int dst, std::uint64_t bytes,
                                              const std::string& label) {
   obs::MetricsRegistry& m = metrics();
   for (int attempt = 0;; ++attempt) {
-    if (injected_faults_ > 0) {
-      --injected_faults_;
+    if (consume_injected_fault()) {
       m.inc("shuffle.transfer_faults");
       if (attempt >= config_.max_retries) {
         m.inc("shuffle.transfer_aborts");
@@ -80,7 +103,7 @@ sim::Co<bool> ShuffleService::transfer_block(int src, int dst, std::uint64_t byt
 
 ShuffleSession::ShuffleSession(ShuffleService& service, int out_partitions, std::string label)
     : service_(&service), out_partitions_(out_partitions), label_(std::move(label)),
-      id_(service.next_session_id_++) {
+      id_(service.allocate_session_id()) {
   GFLINK_CHECK(out_partitions_ >= 1);
   buckets_.resize(static_cast<std::size_t>(out_partitions_));
   credits_.reserve(static_cast<std::size_t>(out_partitions_));
@@ -92,7 +115,18 @@ ShuffleSession::ShuffleSession(ShuffleService& service, int out_partitions, std:
 }
 
 ShuffleSession::~ShuffleSession() {
+  core::MutexLock lock(mu_);
   GFLINK_CHECK_MSG(in_flight_sends_ == 0, "shuffle session destroyed with in-flight sends");
+}
+
+void ShuffleSession::begin_send() {
+  core::MutexLock lock(mu_);
+  ++in_flight_sends_;
+}
+
+bool ShuffleSession::end_send() {
+  core::MutexLock lock(mu_);
+  return --in_flight_sends_ == 0;
 }
 
 std::vector<mem::RecordBatch> ShuffleSession::partition(const mem::RecordBatch& in,
@@ -133,7 +167,7 @@ sim::Co<void> ShuffleSession::send(int src_worker, std::vector<mem::RecordBatch>
   for (int t = 0; t < out_partitions_; ++t) {
     auto& bucket = buckets[static_cast<std::size_t>(t)];
     if (bucket.empty()) continue;
-    ++in_flight_sends_;
+    begin_send();
     if (service_->config().pipelined) {
       // Detach the bucket send: the caller's task slot frees while the NIC
       // drains, and sends toward distinct receivers overlap each other.
@@ -158,7 +192,10 @@ sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucke
   const sim::Time begin = service_->sim().now();
   bool ok = true;
   if (dst != src && bytes > 0) {
-    network_bytes_ += bytes;
+    {
+      core::MutexLock lock(mu_);
+      network_bytes_ += bytes;
+    }
     const std::uint64_t block = std::max<std::uint64_t>(1, service_->config().block_bytes);
     sim::Semaphore& credit = *credits_[static_cast<std::size_t>(t)];
     if (service_->config().pipelined) {
@@ -220,9 +257,10 @@ sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucke
   if (ok) {
     co_await deposit(t, dst, std::move(bucket));
   } else {
+    core::MutexLock lock(mu_);
     ++aborted_blocks_;  // finish() turns this into a loud failure
   }
-  if (--in_flight_sends_ == 0 && drained_) drained_->fire();
+  if (end_send() && drained_) drained_->fire();
 }
 
 sim::Co<void> ShuffleSession::deposit(int t, int dst, mem::RecordBatch bucket) {
@@ -232,9 +270,14 @@ sim::Co<void> ShuffleSession::deposit(int t, int dst, mem::RecordBatch bucket) {
   if (cfg.spill_enabled && bytes > 0 &&
       service_->resident_bytes(dst) + bytes > cfg.receiver_budget_bytes) {
     d.spilled = true;
+    std::uint64_t seq;
+    {
+      core::MutexLock lock(mu_);
+      seq = next_spill_seq_++;
+      spilled_bytes_ += bytes;
+    }
     d.spill_path = cfg.spill_dir + "/s" + std::to_string(id_) + "-p" + std::to_string(t) +
-                   "-" + std::to_string(next_spill_seq_++);
-    spilled_bytes_ += bytes;
+                   "-" + std::to_string(seq);
     obs::MetricsRegistry& m = service_->metrics();
     m.inc("shuffle.spill_blocks");
     m.inc("shuffle.spill_bytes", static_cast<double>(bytes));
@@ -247,12 +290,23 @@ sim::Co<void> ShuffleSession::deposit(int t, int dst, mem::RecordBatch bucket) {
 }
 
 sim::Co<void> ShuffleSession::finish() {
-  if (in_flight_sends_ > 0) {
+  bool pending;
+  {
+    core::MutexLock lock(mu_);
+    pending = in_flight_sends_ > 0;
+  }
+  // No suspension point between the check above and the trigger creation,
+  // so no send can retire in between on the simulation thread.
+  if (pending) {
     drained_ = std::make_unique<sim::Trigger>(service_->sim());
     co_await drained_->wait();
   }
-  GFLINK_CHECK_MSG(aborted_blocks_ == 0,
-                   "shuffle block transfer permanently failed after retries");
+  int aborted;
+  {
+    core::MutexLock lock(mu_);
+    aborted = aborted_blocks_;
+  }
+  GFLINK_CHECK_MSG(aborted == 0, "shuffle block transfer permanently failed after retries");
 }
 
 sim::Co<std::vector<mem::RecordBatch>> ShuffleSession::take(int t, int reader) {

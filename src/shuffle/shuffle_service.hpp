@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "dfs/gdfs.hpp"
 #include "mem/record_batch.hpp"
 #include "net/cluster.hpp"
@@ -111,8 +112,14 @@ class ShuffleSession {
 
   /// Bytes this session moved across the network (excludes same-worker
   /// buckets). The single source of truth for stage shuffle accounting.
-  std::uint64_t network_bytes() const { return network_bytes_; }
-  std::uint64_t spilled_bytes() const { return spilled_bytes_; }
+  std::uint64_t network_bytes() const {
+    core::MutexLock lock(mu_);
+    return network_bytes_;
+  }
+  std::uint64_t spilled_bytes() const {
+    core::MutexLock lock(mu_);
+    return spilled_bytes_;
+  }
 
  private:
   struct Deposit {
@@ -125,18 +132,30 @@ class ShuffleSession {
   sim::Co<void> send_bucket(int src, int t, mem::RecordBatch bucket);
   sim::Co<void> deposit(int t, int dst, mem::RecordBatch bucket);
 
+  /// Credit accounting around one detached bucket send: end_send() returns
+  /// true when it retired the last in-flight send (the caller then fires
+  /// `drained_` — outside the lock, since Trigger is simulation-plane).
+  void begin_send() GFLINK_EXCLUDES(mu_);
+  bool end_send() GFLINK_EXCLUDES(mu_);
+
   ShuffleService* service_;
   int out_partitions_;
   std::string label_;
   std::uint64_t id_;
+  // Deposited buckets, credit semaphores and the drain trigger are
+  // simulation-plane structures: touched only between suspension points of
+  // the simulation thread, never from exporters.
   std::vector<std::vector<Deposit>> buckets_;
   std::vector<std::unique_ptr<sim::Semaphore>> credits_;  // per target partition
-  int in_flight_sends_ = 0;
   std::unique_ptr<sim::Trigger> drained_;  // created lazily by finish()
-  std::uint64_t network_bytes_ = 0;
-  std::uint64_t spilled_bytes_ = 0;
-  std::uint64_t next_spill_seq_ = 0;
-  int aborted_blocks_ = 0;
+  /// Guards the session's byte/credit accounting (leaf lock; never held
+  /// across a co_await — every mutation sits in a synchronous section).
+  mutable core::Mutex mu_;
+  int in_flight_sends_ GFLINK_GUARDED_BY(mu_) = 0;
+  std::uint64_t network_bytes_ GFLINK_GUARDED_BY(mu_) = 0;
+  std::uint64_t spilled_bytes_ GFLINK_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_spill_seq_ GFLINK_GUARDED_BY(mu_) = 0;
+  int aborted_blocks_ GFLINK_GUARDED_BY(mu_) = 0;
 };
 
 class ShuffleService {
@@ -157,12 +176,21 @@ class ShuffleService {
   /// Fault-injection hook (the shuffle arm of the fault framework): the
   /// next `n` block-transfer attempts fail before moving any bytes and are
   /// retried with exponential backoff.
-  void inject_transfer_faults(int n) { injected_faults_ += n; }
-  int pending_injected_faults() const { return injected_faults_; }
+  void inject_transfer_faults(int n) {
+    core::MutexLock lock(mu_);
+    injected_faults_ += n;
+  }
+  int pending_injected_faults() const {
+    core::MutexLock lock(mu_);
+    return injected_faults_;
+  }
 
   /// Highest number of blocks that were simultaneously in flight — what the
   /// credit window bounds (diagnostic for tests/benches).
-  std::int64_t max_blocks_in_flight() const { return max_in_flight_; }
+  std::int64_t max_blocks_in_flight() const {
+    core::MutexLock lock(mu_);
+    return max_in_flight_;
+  }
 
   /// Bytes currently resident in `worker`'s exchange buffer (deposited, not
   /// yet taken, not spilled).
@@ -175,21 +203,28 @@ class ShuffleService {
   /// Returns false when the retry budget is exhausted.
   sim::Co<bool> transfer_block(int src, int dst, std::uint64_t bytes, const std::string& label);
 
-  void block_started();
-  void block_finished();
-  void add_resident(int worker, std::uint64_t bytes);
-  void sub_resident(int worker, std::uint64_t bytes);
+  void block_started() GFLINK_EXCLUDES(mu_);
+  void block_finished() GFLINK_EXCLUDES(mu_);
+  void add_resident(int worker, std::uint64_t bytes) GFLINK_EXCLUDES(mu_);
+  void sub_resident(int worker, std::uint64_t bytes) GFLINK_EXCLUDES(mu_);
+  /// Atomically consume one injected fault; false when none are pending.
+  bool consume_injected_fault() GFLINK_EXCLUDES(mu_);
+  std::uint64_t allocate_session_id() GFLINK_EXCLUDES(mu_);
 
   sim::Simulation* sim_;
   net::Cluster* cluster_;
   dfs::Gdfs* dfs_;
   ShuffleConfig config_;
   OwnerFn owner_;
-  int injected_faults_ = 0;
-  std::int64_t in_flight_ = 0;
-  std::int64_t max_in_flight_ = 0;
-  std::uint64_t next_session_id_ = 1;
-  std::vector<std::uint64_t> resident_;  // exchange bytes per node id
+  /// Guards the service-wide credit/fault/resident accounting shared by
+  /// every session. Leaf lock; the in-flight gauge is published after
+  /// release (the registry has its own lock).
+  mutable core::Mutex mu_;
+  int injected_faults_ GFLINK_GUARDED_BY(mu_) = 0;
+  std::int64_t in_flight_ GFLINK_GUARDED_BY(mu_) = 0;
+  std::int64_t max_in_flight_ GFLINK_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_session_id_ GFLINK_GUARDED_BY(mu_) = 1;
+  std::vector<std::uint64_t> resident_ GFLINK_GUARDED_BY(mu_);  // exchange bytes per node id
 };
 
 }  // namespace gflink::shuffle

@@ -6,6 +6,11 @@
 
 namespace gflink::workloads::concomp {
 
+// Compile-time + static-init layout proof for every mirror this
+// translation unit reinterprets batch bytes as (see mem/gstruct.hpp).
+GSTRUCT_MIRROR_CHECK(Vertex, vertex_desc);
+GSTRUCT_MIRROR_CHECK(LabelMsg, label_msg_desc);
+
 namespace {
 
 // 9 emitted tuples per vertex with JVM boxing/serialization (~26 us, Flink coGroup machinery).

@@ -7,6 +7,12 @@
 
 namespace gflink::workloads::kmeans {
 
+// Compile-time + static-init layout proof for every mirror this
+// translation unit reinterprets batch bytes as (see mem/gstruct.hpp).
+GSTRUCT_MIRROR_CHECK(Point, point_desc);
+GSTRUCT_MIRROR_CHECK(ClusterAgg, cluster_agg_desc);
+GSTRUCT_MIRROR_CHECK(VecEntry, vec_entry_desc);
+
 namespace {
 
 // CPU cost of the assignment UDF: distance to k centers per point through

@@ -5,6 +5,12 @@
 
 namespace gflink::workloads::linreg {
 
+// Compile-time + static-init layout proof for every mirror this
+// translation unit reinterprets batch bytes as (see mem/gstruct.hpp).
+GSTRUCT_MIRROR_CHECK(Sample, sample_desc);
+GSTRUCT_MIRROR_CHECK(Gradient, gradient_desc);
+GSTRUCT_MIRROR_CHECK(VecEntry, vec_entry_desc);
+
 namespace {
 
 // The JVM-side gradient UDF is the slowest per-record code of the suite

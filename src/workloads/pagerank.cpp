@@ -4,6 +4,11 @@
 
 namespace gflink::workloads::pagerank {
 
+// Compile-time + static-init layout proof for every mirror this
+// translation unit reinterprets batch bytes as (see mem/gstruct.hpp).
+GSTRUCT_MIRROR_CHECK(Page, page_desc);
+GSTRUCT_MIRROR_CHECK(RankMsg, rank_msg_desc);
+
 namespace {
 
 // Scatter UDF: 8 emitted tuples per page; on the JVM every emission boxes a

@@ -4,6 +4,10 @@
 
 namespace gflink::workloads::pointadd {
 
+// Compile-time + static-init layout proof for every mirror this
+// translation unit reinterprets batch bytes as (see mem/gstruct.hpp).
+GSTRUCT_MIRROR_CHECK(Pt, pt_desc);
+
 namespace {
 
 const df::OpCost kAddCost{60.0, 2.0 * sizeof(Pt)};

@@ -6,6 +6,11 @@
 
 namespace gflink::workloads::spmv {
 
+// Compile-time + static-init layout proof for every mirror this
+// translation unit reinterprets batch bytes as (see mem/gstruct.hpp).
+GSTRUCT_MIRROR_CHECK(CsrRow, csr_row_desc);
+GSTRUCT_MIRROR_CHECK(VecEntry, vec_entry_desc);
+
 namespace {
 
 // CPU row UDF. Idiomatic Flink SpMV processes every nonzero as a Tuple3

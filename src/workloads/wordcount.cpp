@@ -5,6 +5,10 @@
 
 namespace gflink::workloads::wordcount {
 
+// Compile-time + static-init layout proof for every mirror this
+// translation unit reinterprets batch bytes as (see mem/gstruct.hpp).
+GSTRUCT_MIRROR_CHECK(WordCount, word_count_desc);
+
 namespace {
 
 // Tokenization cost is charged at the source. The count combine pays JVM

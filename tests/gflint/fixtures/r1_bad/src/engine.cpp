@@ -1,0 +1,8 @@
+// Fixture: every device-allocation idiom gflint R1 must reject when it
+// appears outside the allowlisted GMemoryManager / CudaWrapper files.
+void leaky(Device& dev) {
+  auto alloc = dev.memory().allocate(1024);  // finding: raw allocator call
+  dev.memory().free(alloc);                  // finding: raw allocator call
+  void* p = cuda_malloc(dev, 64);            // finding: engine-owned API
+  cuda_free(dev, p);                         // finding: engine-owned API
+}

@@ -1,0 +1,5 @@
+// Fixture: the cache manager itself may call the raw device allocator.
+void GMemoryManager::grow(Device& dev) {
+  auto alloc = dev.memory().allocate(1024);
+  dev.memory().free(alloc);
+}

@@ -1,0 +1,6 @@
+// Fixture: the GStream engine is the one consumer allowed to call
+// cuda_malloc/cuda_free (automatic per-GWork allocation).
+void run(Device& dev) {
+  void* p = cuda_malloc(dev, 64);
+  cuda_free(dev, p);
+}

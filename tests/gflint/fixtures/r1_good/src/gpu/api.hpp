@@ -1,0 +1,5 @@
+// Fixture: the CUDA wrapper layer defines and forwards cuda_malloc/cuda_free.
+inline void* cuda_malloc(Device& dev, unsigned long bytes) {
+  return dev.memory().allocate(bytes);
+}
+inline void cuda_free(Device& dev, void* p) { dev.memory().free(p); }

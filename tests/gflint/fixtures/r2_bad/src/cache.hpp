@@ -1,0 +1,11 @@
+#pragma once
+#include <mutex>
+
+// Fixture: both R2 failure modes — a raw std::mutex member, and a
+// core::Mutex that no annotation or MutexLock ever references.
+class Cache {
+ private:
+  std::mutex raw_mu_;       // finding: raw std::mutex
+  core::Mutex unused_mu_;   // finding: never annotated or locked
+  int entries_ = 0;
+};

@@ -1,0 +1,16 @@
+#pragma once
+
+// Fixture: annotated core::Mutex members pass R2 — one referenced by
+// GUARDED_BY, one only ever taken through MutexLock.
+class Cache {
+ public:
+  int entries() const {
+    core::MutexLock lock(stats_mu_);
+    return entries_;
+  }
+
+ private:
+  mutable core::Mutex mu_;
+  mutable core::Mutex stats_mu_;
+  int entries_ GFLINK_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: R3 must flag metrics emitted but undocumented, and catalog
+// entries nothing emits.
+void report(Registry& metrics) {
+  metrics.counter("widgets_total").inc();  // documented: ok
+  metrics.gauge("unlisted_gauge").set(1);  // finding: not in the catalog
+}

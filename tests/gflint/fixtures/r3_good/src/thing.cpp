@@ -1,0 +1,5 @@
+// Fixture: emitted names and the catalog agree exactly.
+void report(Registry& metrics) {
+  metrics.counter("widgets_total").inc();
+  metrics.gauge("widget_backlog").set(1);
+}

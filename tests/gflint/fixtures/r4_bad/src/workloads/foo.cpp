@@ -1,0 +1,4 @@
+#include "workloads/records.hpp"
+
+GSTRUCT_MIRROR_CHECK(Foo, foo_desc);
+GSTRUCT_MIRROR_CHECK(Baz, baz_desc);

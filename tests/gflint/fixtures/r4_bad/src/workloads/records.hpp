@@ -1,0 +1,11 @@
+#pragma once
+
+// Fixture: Foo is checked, Bar is not; foo.cpp also checks a struct that
+// records.hpp never declares.
+struct Foo {
+  double x;
+};
+
+struct Bar {
+  long y;
+};

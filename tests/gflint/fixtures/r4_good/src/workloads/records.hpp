@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: every declared mirror struct has a matching check.
+struct Foo {
+  double x;
+};
+
+struct Bar {
+  long y;
+};

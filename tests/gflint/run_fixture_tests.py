@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for tools/gflint.py.
+
+Each fixture under fixtures/ is a miniature repo root. For every rule there
+is a *_bad tree that must produce an exact set of findings and a *_good
+tree that must be clean. Run directly or via ctest (test name
+`gflint_fixtures`).
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+GFLINT = HERE.parent.parent / "tools" / "gflint.py"
+FINDING_RE = re.compile(r"\[(R\d)\]")
+
+# (fixture, rules to run, expected exit, expected finding count per rule)
+CASES = [
+    ("r1_bad", "R1", 1, {"R1": 4}),
+    ("r1_good", "R1", 0, {}),
+    ("r2_bad", "R2", 1, {"R2": 2}),
+    ("r2_good", "R2", 0, {}),
+    ("r3_bad", "R3", 1, {"R3": 2}),
+    ("r3_good", "R3", 0, {}),
+    ("r4_bad", "R4", 1, {"R4": 2}),
+    ("r4_good", "R4", 0, {}),
+]
+
+
+def main() -> int:
+    failures = []
+    for fixture, rules, want_exit, want_counts in CASES:
+        root = HERE / "fixtures" / fixture
+        proc = subprocess.run(
+            [sys.executable, str(GFLINT), "--root", str(root), "--rules", rules],
+            capture_output=True, text=True)
+        counts = {}
+        for rule in FINDING_RE.findall(proc.stdout):
+            counts[rule] = counts.get(rule, 0) + 1
+        problems = []
+        if proc.returncode != want_exit:
+            problems.append(f"exit {proc.returncode}, want {want_exit}")
+        if counts != want_counts:
+            problems.append(f"findings {counts or '{}'}, want {want_counts or '{}'}")
+        if problems:
+            failures.append(fixture)
+            print(f"FAIL {fixture} ({rules}): {'; '.join(problems)}")
+            for line in (proc.stdout + proc.stderr).splitlines():
+                print(f"  | {line}")
+        else:
+            print(f"ok   {fixture} ({rules})")
+
+    if failures:
+        print(f"{len(failures)}/{len(CASES)} fixture case(s) failed", file=sys.stderr)
+        return 1
+    print(f"all {len(CASES)} fixture cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

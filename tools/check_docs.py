@@ -29,8 +29,11 @@ def markdown_files(root):
 
 def check_file(path, root):
     errors = []
-    with open(path, encoding="utf-8") as f:
-        text = f.read()
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except (OSError, UnicodeDecodeError) as e:
+        return [f"{os.path.relpath(path, root)}: unreadable ({e})"]
     # Strip fenced code blocks: links inside them are examples, not claims.
     text = re.sub(r"```.*?```", "", text, flags=re.S)
     for match in LINK.finditer(text):
@@ -49,6 +52,8 @@ def check_file(path, root):
 
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    if not os.path.isdir(root):
+        sys.exit(f"error: root {root} is not a directory")
     errors = []
     count = 0
     for path in markdown_files(root):

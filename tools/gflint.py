@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""gflint: GFlink-specific lint over src/**.
+
+Four rules, each enforcing an architectural invariant the type system
+cannot express (see docs/ARCHITECTURE.md, "Concurrency invariants & lock
+hierarchy" and the GStruct layout contract in src/mem/gstruct.hpp):
+
+  R1  device-alloc   Device memory is allocated/released only through the
+                     GMemoryManager / CudaWrapper layers (the paper's
+                     automatic memory management). Raw allocator calls
+                     (`.memory().allocate/free`) and `cuda_malloc/cuda_free`
+                     call sites are restricted to an allowlist.
+  R2  mutex          No raw `std::mutex` member outside the annotated
+                     wrapper (core/thread_annotations.hpp), and every
+                     `core::Mutex` member must be referenced by at least
+                     one thread-safety annotation (GUARDED_BY / REQUIRES /
+                     ACQUIRE / ...) in the same file — an unannotated lock
+                     guards nothing the analysis can check.
+  R3  metrics        Every metric name emitted in src/** appears in the
+                     EXPERIMENTS.md metric catalog, and vice versa (the
+                     catalog is the stable machine interface of run
+                     reports; silent drift breaks downstream readers).
+  R4  mirrors        Every GStruct mirror struct declared in
+                     src/workloads/records.hpp is covered by a
+                     GSTRUCT_MIRROR_CHECK(T, ...) in some workloads
+                     translation unit (the compile-time/static-init layout
+                     proof behind the zero-serialization path).
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage or
+environment errors (missing root, unreadable files).
+
+`--list-metrics` prints the metric names found in src/** (the input for
+regenerating the EXPERIMENTS.md catalog) and exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# ---- Rule configuration ----------------------------------------------------
+
+# R1: files (relative to src/) that may call the raw device allocator.
+RAW_ALLOC_ALLOWED = {
+    "core/gmemory_manager.cpp",  # the cache/region manager itself
+    "gpu/api.hpp",               # cudaMalloc/cudaFree stubs wrap the allocator
+    "gpu/device_memory.hpp",     # the allocator
+    "gpu/device_memory.cpp",
+}
+RAW_ALLOC_RE = re.compile(r"\.memory\(\)\.(allocate|free)\s*\(")
+
+# R1: files/directories that may *call* cuda_malloc/cuda_free (definitions in
+# gpu/ plus the engine's automatic per-GWork allocation).
+CUDA_ALLOC_ALLOWED_DIRS = ("gpu/",)
+CUDA_ALLOC_ALLOWED_FILES = {"core/gstream_manager.cpp"}
+CUDA_ALLOC_RE = re.compile(r"\bcuda_(malloc|free)\s*\(")
+
+# R2: the annotated wrapper itself wraps a std::mutex; everything else must
+# use core::Mutex. sim::Mutex is a simulated resource, not a host lock.
+MUTEX_EXEMPT = {"core/thread_annotations.hpp"}
+STD_MUTEX_RE = re.compile(r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex)\b")
+CORE_MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:core::|gflink::core::)Mutex\s+(\w+)\s*;", re.M
+)
+ANNOTATION_RE_TMPL = (
+    r"GFLINK_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|TRY_ACQUIRE|"
+    r"EXCLUDES|ACQUIRED_BEFORE|ACQUIRED_AFTER)\s*\(\s*{name}\s*[),]"
+)
+MUTEX_LOCK_RE_TMPL = r"MutexLock\s+\w+\s*\(\s*{name}\s*\)"
+
+# R3: metric registration/emission sites. The name must be a string literal
+# directly at the call, which is the repo-wide idiom.
+METRIC_CALL_RE = re.compile(r"\b(?:counter|gauge|histogram|inc)\(\s*\"([A-Za-z0-9_.]+)\"")
+CATALOG_BEGIN = "<!-- metric-catalog:begin -->"
+CATALOG_END = "<!-- metric-catalog:end -->"
+CATALOG_NAME_RE = re.compile(r"`([A-Za-z0-9_.]+)`")
+
+# R4: mirror structs and their checks.
+MIRROR_STRUCT_RE = re.compile(r"^struct\s+(\w+)\s*\{", re.M)
+MIRROR_CHECK_RE = re.compile(r"GSTRUCT_MIRROR_CHECK\(\s*(\w+)\s*,")
+
+SOURCE_GLOBS = ("**/*.cpp", "**/*.hpp")
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else str(self.path)
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+def iter_sources(src: Path):
+    for pattern in SOURCE_GLOBS:
+        yield from sorted(src.glob(pattern))
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:end]))
+            i = end
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+# ---- Rules -----------------------------------------------------------------
+
+
+def rule_device_alloc(src: Path) -> list:
+    findings = []
+    for path in iter_sources(src):
+        rel = path.relative_to(src).as_posix()
+        text = strip_comments(path.read_text())
+        if rel not in RAW_ALLOC_ALLOWED:
+            for m in RAW_ALLOC_RE.finditer(text):
+                findings.append(Finding(
+                    "R1", path, line_of(text, m.start()),
+                    f"raw device allocator call '.memory().{m.group(1)}()' outside "
+                    "GMemoryManager/CudaWrapper — route allocation through "
+                    "GMemoryManager (insert/reserve_staging) or the CudaWrapper API"))
+        if rel not in CUDA_ALLOC_ALLOWED_FILES and not rel.startswith(CUDA_ALLOC_ALLOWED_DIRS):
+            for m in CUDA_ALLOC_RE.finditer(text):
+                findings.append(Finding(
+                    "R1", path, line_of(text, m.start()),
+                    f"cuda_{m.group(1)}() call outside the GStream engine — GFlink's "
+                    "automatic memory management owns device allocation lifetimes"))
+    return findings
+
+
+def rule_mutex(src: Path) -> list:
+    findings = []
+    for path in iter_sources(src):
+        rel = path.relative_to(src).as_posix()
+        if rel in MUTEX_EXEMPT:
+            continue
+        text = strip_comments(path.read_text())
+        for m in STD_MUTEX_RE.finditer(text):
+            findings.append(Finding(
+                "R2", path, line_of(text, m.start()),
+                f"raw {m.group(0)} — use the annotated core::Mutex from "
+                "core/thread_annotations.hpp so -Wthread-safety can check it"))
+        for m in CORE_MUTEX_MEMBER_RE.finditer(text):
+            name = m.group(1)
+            annotated = re.search(ANNOTATION_RE_TMPL.format(name=re.escape(name)), text)
+            locked = re.search(MUTEX_LOCK_RE_TMPL.format(name=re.escape(name)), text)
+            if not annotated and not locked:
+                findings.append(Finding(
+                    "R2", path, line_of(text, m.start()),
+                    f"core::Mutex member '{name}' is never referenced by a "
+                    "GFLINK_* annotation or MutexLock in this file — an unused "
+                    "lock guards nothing the analysis can verify"))
+    return findings
+
+
+def collect_metric_names(src: Path) -> dict:
+    """metric name -> first (path, line) that emits it."""
+    names = {}
+    for path in iter_sources(src):
+        text = strip_comments(path.read_text())
+        for m in METRIC_CALL_RE.finditer(text):
+            names.setdefault(m.group(1), (path, line_of(text, m.start())))
+    return names
+
+
+def rule_metrics(src: Path, experiments: Path) -> list:
+    emitted = collect_metric_names(src)
+    text = experiments.read_text()
+    begin, end = text.find(CATALOG_BEGIN), text.find(CATALOG_END)
+    if begin < 0 or end < 0 or end < begin:
+        return [Finding("R3", experiments, 0,
+                        f"metric catalog markers '{CATALOG_BEGIN}' / '{CATALOG_END}' "
+                        "not found — the catalog section is the schema contract")]
+    catalog_text = text[begin:end]
+    documented = set(CATALOG_NAME_RE.findall(catalog_text))
+    findings = []
+    for name in sorted(set(emitted) - documented):
+        path, line = emitted[name]
+        findings.append(Finding(
+            "R3", path, line,
+            f"metric '{name}' is emitted here but missing from the "
+            f"EXPERIMENTS.md metric catalog"))
+    for name in sorted(documented - set(emitted)):
+        findings.append(Finding(
+            "R3", experiments, line_of(text, text.find(f"`{name}`", begin)),
+            f"metric '{name}' is documented in the catalog but never emitted "
+            "under src/ — stale entry"))
+    return findings
+
+
+def rule_mirrors(src: Path) -> list:
+    records = src / "workloads" / "records.hpp"
+    declared = set(MIRROR_STRUCT_RE.findall(strip_comments(records.read_text())))
+    checked = set()
+    for path in sorted((src / "workloads").glob("*.cpp")):
+        checked.update(MIRROR_CHECK_RE.findall(path.read_text()))
+    findings = []
+    for name in sorted(declared - checked):
+        findings.append(Finding(
+            "R4", records, 0,
+            f"mirror struct '{name}' has no GSTRUCT_MIRROR_CHECK({name}, ...) in any "
+            "src/workloads/*.cpp — its descriptor/layout agreement is unproven"))
+    for name in sorted(checked - declared):
+        findings.append(Finding(
+            "R4", records, 0,
+            f"GSTRUCT_MIRROR_CHECK({name}, ...) references a struct not declared in "
+            "records.hpp"))
+    return findings
+
+
+# ---- Driver ----------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="repo root (containing src/ and EXPERIMENTS.md); "
+                             "default: the checkout this script lives in")
+    parser.add_argument("--rules", default="R1,R2,R3,R4",
+                        help="comma-separated subset of rules to run (default: all)")
+    parser.add_argument("--list-metrics", action="store_true",
+                        help="print the metric names emitted under src/ and exit")
+    args = parser.parse_args()
+
+    src = args.root / "src"
+    if not src.is_dir():
+        print(f"gflint: error: no src/ directory under {args.root}", file=sys.stderr)
+        return 2
+
+    if args.list_metrics:
+        for name in sorted(collect_metric_names(src)):
+            print(name)
+        return 0
+
+    rules = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
+    unknown = rules - {"R1", "R2", "R3", "R4"}
+    if unknown:
+        print(f"gflint: error: unknown rule(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    if "R1" in rules:
+        findings += rule_device_alloc(src)
+    if "R2" in rules:
+        findings += rule_mutex(src)
+    if "R3" in rules:
+        experiments = args.root / "EXPERIMENTS.md"
+        if not experiments.is_file():
+            print(f"gflint: error: missing metric catalog file {experiments}",
+                  file=sys.stderr)
+            return 2
+        findings += rule_metrics(src, experiments)
+    if "R4" in rules:
+        if not (src / "workloads" / "records.hpp").is_file():
+            print(f"gflint: error: missing {src / 'workloads' / 'records.hpp'}",
+                  file=sys.stderr)
+            return 2
+        findings += rule_mirrors(src)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"gflint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"gflint: clean ({', '.join(sorted(rules))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

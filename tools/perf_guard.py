@@ -38,8 +38,14 @@ def gauge_key(name, labels):
 
 
 def load_report(path):
-    with open(path) as f:
-        report = json.load(f)
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read run report {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: run report {path} is not valid JSON ({e}) — "
+                 "was the bench interrupted mid-write?")
     gauges = {}
     for gauge in report.get("metrics", {}).get("gauges", []):
         gauges[gauge_key(gauge.get("name", ""), gauge.get("labels", {}))] = \
@@ -111,8 +117,18 @@ def main():
                     help="rewrite the baseline file from the fresh reports")
     args = ap.parse_args()
 
-    with open(args.baselines) as f:
-        baselines = json.load(f)
+    try:
+        with open(args.baselines) as f:
+            baselines = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read baseline file {args.baselines}: "
+                 f"{e.strerror} — run from the repo root or pass --baselines")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: baseline file {args.baselines} is not valid JSON ({e})")
+
+    if not os.path.isdir(args.reports_dir):
+        sys.exit(f"error: reports directory {args.reports_dir} does not exist — "
+                 "run the bench binaries with $GFLINK_BENCH_OUT pointing there first")
 
     if args.update:
         refreshed = update(baselines, args.reports_dir)
