@@ -1,0 +1,50 @@
+// Critical-path breakdown — where the makespan of the GFlink PageRank run
+// actually goes, by span category (control, H2D, kernel, D2H, shuffle,
+// spill, wait).
+//
+// Unlike the figure benches this one runs with tracing on: the engine's
+// SpanStore retains the causal span DAG, and capture_spans() extracts the
+// last-finisher critical path whose per-category breakdown sums to the
+// makespan exactly (the deterministic invariant tools/trace_critical_path.py
+// re-checks in CI). The trace_critical_path_seconds gauges recorded here
+// feed both the EXPERIMENTS.md breakdown table and the perf guard.
+#include "bench_common.hpp"
+#include "workloads/pagerank.hpp"
+
+namespace {
+
+using namespace gflink::bench;
+
+void CriticalPath_PageRank(benchmark::State& state) {
+  for (auto _ : state) {
+    wl::Testbed tb;
+    tb.trace = true;  // retain the span DAG for the critical-path walk
+    df::Engine engine(wl::make_engine_config(tb));
+    wl::ensure_kernels_registered();
+    core::GFlinkRuntime runtime(engine, wl::make_gpu_config(tb));
+    wl::pagerank::Config pcfg;  // defaults: 10 M pages, 5 iterations
+    wl::pagerank::Result result;
+    engine.run([&](df::Engine& eng) -> gflink::sim::Co<void> {
+      result = co_await wl::pagerank::run(eng, &runtime, tb, wl::Mode::Gpu, pcfg);
+    });
+
+    gflink::obs::RunReport& rep = bench_report();
+    rep.virtual_ns += engine.now();
+    engine.export_metrics(rep.metrics);
+    runtime.export_metrics(rep.metrics);
+    rep.metrics.inc("bench_cases_total");
+    rep.capture_spans(engine.cluster().spans());
+    // The table generator extrapolates breakdown_ns to full-scale seconds.
+    rep.set_config("scale", tb.scale);
+
+    const double secs = full_seconds(result.run.total, tb);
+    state.SetIterationTime(secs * tb.scale);  // simulated seconds
+    state.counters["full_s"] = secs;
+  }
+}
+BENCHMARK(CriticalPath_PageRank)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+GFLINK_BENCH_MAIN(critical_path);

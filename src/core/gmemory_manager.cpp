@@ -77,6 +77,7 @@ std::optional<GMemoryManager::CacheEntry> GMemoryManager::insert(int device, std
     if (r.used - reclaimable + bytes > region_capacity_) return std::nullopt;
     for (std::uint64_t victim : victims) {
       auto it = r.table.find(victim);
+      note_flight("cache_evict", device, it->second.entry.bytes);
       dev.memory().free(it->second.entry.ptr);
       r.used -= it->second.entry.bytes;
       r.table.erase(it);
@@ -147,6 +148,7 @@ bool GMemoryManager::evict_for_space_locked(int device, std::uint64_t job, std::
     }
     if (victim == r->fifo.end()) break;  // everything pinned
     auto slot = r->table.find(*victim);
+    note_flight("cache_evict", device, slot->second.entry.bytes);
     dev.memory().free(slot->second.entry.ptr);
     r->used -= slot->second.entry.bytes;
     r->table.erase(slot);
@@ -166,6 +168,7 @@ gpu::DevicePtr GMemoryManager::reserve_staging(int device, std::uint64_t job,
   }
   if (ptr == 0) {
     staging_failures_.fetch_add(1, std::memory_order_relaxed);
+    note_flight("staging_failure", device, bytes);
     return 0;
   }
   staging_reservations_.fetch_add(1, std::memory_order_relaxed);

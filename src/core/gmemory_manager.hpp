@@ -24,6 +24,8 @@
 #include "core/gwork.hpp"
 #include "core/thread_annotations.hpp"
 #include "gpu/device.hpp"
+#include "obs/flight_recorder.hpp"
+#include "sim/simulation.hpp"
 
 namespace gflink::core {
 
@@ -40,6 +42,16 @@ class GMemoryManager {
                  CachePolicy policy)
       : devices_(std::move(devices)), region_capacity_(region_capacity), policy_(policy),
         regions_(devices_.size()), staging_bytes_(devices_.size(), 0) {}
+
+  /// Attach the node's flight recorder: cache evictions and staging-ring
+  /// failures become flight events (memory pressure is the usual suspect
+  /// when a fault dump is being read). `sim` supplies the clock; the
+  /// recorder is lock-free, so noting events under mu_ is safe.
+  void attach_flight(obs::FlightRecorder* flight, int node, sim::Simulation* sim) {
+    flight_ = flight;
+    flight_node_ = node;
+    flight_sim_ = sim;
+  }
 
   int num_devices() const { return static_cast<int>(devices_.size()); }
   CachePolicy policy() const { return policy_; }
@@ -147,9 +159,20 @@ class GMemoryManager {
   std::uint64_t cached_input_bytes_locked(int device, const GWork& work) const
       GFLINK_REQUIRES(mu_);
 
+  void note_flight(const char* what, int device, std::uint64_t bytes) const {
+    if (flight_ == nullptr || flight_sim_ == nullptr) return;
+    flight_->note_event(flight_sim_->now(), flight_node_,
+                        what, "gpu" + std::to_string(device) + " " + std::to_string(bytes) +
+                                  " bytes");
+  }
+
   std::vector<gpu::GpuDevice*> devices_;
   std::uint64_t region_capacity_;
   CachePolicy policy_;
+  // Flight hook (simulation-plane, lock-free; see attach_flight()).
+  obs::FlightRecorder* flight_ = nullptr;
+  int flight_node_ = -1;
+  sim::Simulation* flight_sim_ = nullptr;
   /// Guards the region tables and the staging accounting. Lock order:
   /// GMemoryManager::mu_ is acquired *before* DeviceMemory::mu_ —
   /// insert/evict/staging call dev.memory().allocate/free while held.

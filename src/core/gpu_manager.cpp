@@ -3,7 +3,8 @@
 namespace gflink::core {
 
 GpuManager::GpuManager(sim::Simulation& sim, int node_id, const GpuManagerConfig& config,
-                       sim::Tracer* tracer, obs::MetricsRegistry* registry)
+                       sim::Tracer* tracer, obs::MetricsRegistry* registry,
+                       obs::SpanStore* spans, obs::FlightRecorder* flight)
     : node_id_(node_id) {
   GFLINK_CHECK_MSG(!config.devices.empty(), "worker needs at least one GPU");
   std::vector<gpu::GpuDevice*> raw_devices;
@@ -19,8 +20,9 @@ GpuManager::GpuManager(sim::Simulation& sim, int node_id, const GpuManagerConfig
   }
   memory_ = std::make_unique<GMemoryManager>(std::move(raw_devices), config.cache_region_bytes,
                                              config.cache_policy);
+  memory_->attach_flight(flight, node_id, &sim);
   streams_ = std::make_unique<GStreamManager>(sim, std::move(raw_wrappers), *memory_,
-                                              config.streams, registry);
+                                              config.streams, registry, spans, node_id);
 }
 
 void GpuManager::export_metrics(obs::MetricsRegistry& out) const {
@@ -55,7 +57,9 @@ GFlinkRuntime::GFlinkRuntime(dataflow::Engine& engine, const GpuManagerConfig& c
   for (int w = 1; w <= engine.num_workers(); ++w) {
     managers_.push_back(std::make_unique<GpuManager>(engine.sim(), w, config,
                                                      &engine.cluster().tracer(),
-                                                     &engine.cluster().metrics()));
+                                                     &engine.cluster().metrics(),
+                                                     &engine.cluster().spans(),
+                                                     &engine.cluster().flight()));
     engine.set_extension(w, managers_.back().get());
   }
 }

@@ -33,9 +33,12 @@ struct GpuManagerConfig {
 class GpuManager {
  public:
   /// `registry` (optional) is the observability sink for scheduler
-  /// distributions; the tracer covers per-lane timelines.
+  /// distributions; the tracer covers per-lane timelines. `spans`
+  /// (optional) records per-GWork causal spans; `flight` (optional)
+  /// receives cache-eviction and staging-failure flight events.
   GpuManager(sim::Simulation& sim, int node_id, const GpuManagerConfig& config,
-             sim::Tracer* tracer, obs::MetricsRegistry* registry = nullptr);
+             sim::Tracer* tracer, obs::MetricsRegistry* registry = nullptr,
+             obs::SpanStore* spans = nullptr, obs::FlightRecorder* flight = nullptr);
 
   int node_id() const { return node_id_; }
   int num_devices() const { return static_cast<int>(devices_.size()); }

@@ -39,6 +39,11 @@ struct ChunkCtx {
   sim::Duration h2d_ns = 0;
   sim::Duration kernel_ns = 0;
   sim::Duration d2h_ns = 0;
+  // Causal tracing (null/0 when the manager has no span store attached).
+  obs::SpanStore* spans = nullptr;
+  obs::SpanId gspan = 0;
+  std::string lane;
+  int node = -1;
 };
 
 /// One chunk's pass through the three stages. Backpressure comes from the
@@ -76,12 +81,20 @@ sim::Co<void> run_chunk(ChunkCtx& ctx, std::size_t c) {
 
   const sim::Time kernel_begin = ctx.sim->now();
   ctx.h2d_ns += kernel_begin - h2d_begin;
+  if (ctx.spans != nullptr && kernel_begin > h2d_begin) {
+    ctx.spans->record("h2d", obs::SpanCategory::H2D, ctx.gspan, h2d_begin, kernel_begin,
+                      ctx.lane, ctx.node);
+  }
   co_await ctx.api->launch_kernel(*ctx.kernel, bindings, n, ctx.work->layout,
                                   ctx.work->block_size, /*grid_size=*/0, ctx.work->params.get(),
                                   ctx.label);
 
   const sim::Time d2h_begin = ctx.sim->now();
   ctx.kernel_ns += d2h_begin - kernel_begin;
+  if (ctx.spans != nullptr && d2h_begin > kernel_begin) {
+    ctx.spans->record("kernel", obs::SpanCategory::Kernel, ctx.gspan, kernel_begin, d2h_begin,
+                      ctx.lane, ctx.node);
+  }
   for (std::size_t i = 0; i < ctx.buffers.size(); ++i) {
     const ChunkBuf& b = ctx.buffers[i];
     if (!b.is_output) continue;
@@ -89,6 +102,10 @@ sim::Co<void> run_chunk(ChunkCtx& ctx, std::size_t c) {
                                  bindings[i].ptr, bindings[i].len, ctx.label);
   }
   ctx.d2h_ns += ctx.sim->now() - d2h_begin;
+  if (ctx.spans != nullptr && ctx.sim->now() > d2h_begin) {
+    ctx.spans->record("d2h", obs::SpanCategory::D2H, ctx.gspan, d2h_begin, ctx.sim->now(),
+                      ctx.lane, ctx.node);
+  }
 
   const bool returned = ctx.free_slots->try_send(*slot);
   GFLINK_CHECK(returned);
@@ -99,8 +116,10 @@ sim::Co<void> run_chunk(ChunkCtx& ctx, std::size_t c) {
 
 GStreamManager::GStreamManager(sim::Simulation& sim, std::vector<gpu::CudaWrapper*> wrappers,
                                GMemoryManager& memory, const GStreamConfig& config,
-                               obs::MetricsRegistry* registry)
-    : sim_(&sim), wrappers_(std::move(wrappers)), memory_(&memory), config_(config) {
+                               obs::MetricsRegistry* registry, obs::SpanStore* spans,
+                               int node_id)
+    : sim_(&sim), wrappers_(std::move(wrappers)), memory_(&memory), config_(config),
+      spans_(spans), node_id_(node_id) {
   GFLINK_CHECK(!wrappers_.empty());
   GFLINK_CHECK(config_.streams_per_gpu >= 1);
   if (registry != nullptr) {
@@ -275,6 +294,11 @@ sim::Co<void> GStreamManager::worker_loop(StreamWorker* w) {
   }
 }
 
+std::string GStreamManager::gpu_lane(int gpu) const {
+  return (node_id_ >= 0 ? "node" + std::to_string(node_id_) + "/" : std::string()) + "gpu" +
+         std::to_string(gpu);
+}
+
 bool GStreamManager::chunk_plan(const GWork& work, ChunkPlan& plan) const {
   if (!work.chunkable || work.use_mapped_memory) return false;
   if (work.grid_size != 0) return false;  // explicit grid covers the whole GWork
@@ -306,7 +330,7 @@ bool GStreamManager::chunk_plan(const GWork& work, ChunkPlan& plan) const {
 }
 
 sim::Co<bool> GStreamManager::execute_chunked(StreamWorker* w, const GWorkPtr& work,
-                                              const ChunkPlan& plan) {
+                                              const ChunkPlan& plan, obs::SpanId gspan) {
   gpu::CudaWrapper& api = *wrappers_.at(static_cast<std::size_t>(w->gpu));
   const int gpu_index = w->gpu;
   const std::string label = work->execute_name;
@@ -335,6 +359,10 @@ sim::Co<bool> GStreamManager::execute_chunked(StreamWorker* w, const GWorkPtr& w
   ctx.ring_base = ring;
   ctx.slot_stride = slot_stride;
   ctx.label = label;
+  ctx.spans = spans_;
+  ctx.gspan = gspan;
+  ctx.lane = gpu_lane(gpu_index);
+  ctx.node = node_id_;
 
   std::vector<gpu::DevicePtr> temporaries;
   std::vector<std::uint64_t> pinned_keys;    // hits + fills: unpinned at teardown
@@ -476,6 +504,12 @@ sim::Co<bool> GStreamManager::execute_chunked(StreamWorker* w, const GWorkPtr& w
   chunked_works_.fetch_add(1, std::memory_order_relaxed);
   chunks_total_.fetch_add(plan.num_chunks, std::memory_order_relaxed);
   work->executed_chunks = plan.num_chunks;
+  if (spans_ != nullptr) {
+    spans_->annotate(gspan, "chunks", std::to_string(plan.num_chunks));
+    spans_->annotate(gspan, "cache_hits",
+                     std::to_string(pinned_keys.size() - inserted_keys.size()));
+    spans_->annotate(gspan, "cache_misses", std::to_string(inserted_keys.size()));
+  }
   finish(work, gpu_index);
   co_return true;
 }
@@ -486,9 +520,19 @@ sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
   work->executed_on_gpu = gpu_index;
   work->executed_on_stream = w->stream_id;
 
+  obs::SpanId gspan = 0;
+  if (spans_ != nullptr) {
+    gspan = spans_->open("gwork:" + work->execute_name, obs::SpanCategory::Control, work->span,
+                        sim_->now(), gpu_lane(gpu_index), node_id_);
+  }
+
   if (ChunkPlan plan; chunk_plan(*work, plan)) {
-    if (co_await execute_chunked(w, work, plan)) co_return;
+    if (co_await execute_chunked(w, work, plan, gspan)) {
+      if (spans_ != nullptr) spans_->close(gspan, sim_->now());
+      co_return;
+    }
     chunk_fallbacks_.fetch_add(1, std::memory_order_relaxed);  // ring unavailable: monolithic fallback below
+    if (spans_ != nullptr) spans_->annotate(gspan, "chunk_fallback", "staging ring unavailable");
   }
 
   if (work->use_mapped_memory) {
@@ -509,6 +553,12 @@ sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
     co_await api.device().launch_mapped(kernel, std::move(spans), work->size, work->layout,
                                         work->execute_name);
     stage_kernel_ns_.fetch_add(sim_->now() - kernel_begin, std::memory_order_relaxed);
+    if (spans_ != nullptr) {
+      spans_->record("kernel", obs::SpanCategory::Kernel, gspan, kernel_begin, sim_->now(),
+                     gpu_lane(gpu_index), node_id_);
+      spans_->annotate(gspan, "mapped_memory", "1");
+      spans_->close(gspan, sim_->now());
+    }
     finish(work, gpu_index);
     co_return;
   }
@@ -531,6 +581,7 @@ sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
   // holding nothing while waiting means no hold-and-wait, so streams can
   // never deadlock on each other, and the work proceeds once the device
   // drains.
+  int oom_backoffs = 0;
   for (int attempt = 0;; ++attempt) {
     bool placed = true;
     for (auto& in : work->inputs) {
@@ -601,6 +652,7 @@ sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
     input_needs_transfer.clear();
     GFLINK_CHECK_MSG(attempt < 1000, "device OOM: GWork buffers never fit");
     oom_retries_.fetch_add(1, std::memory_order_relaxed);
+    ++oom_backoffs;
     // Exponential growth (capped at 1024x): the base is a config-scale
     // latency, but how long until concurrent works release their buffers
     // is set by transfer/kernel durations, which the scale knob does not
@@ -637,6 +689,29 @@ sim::Co<void> GStreamManager::execute(StreamWorker* w, const GWorkPtr& work) {
     memory_->unpin(gpu_index, work->job_id, key);
   }
   stage_d2h_ns_.fetch_add(sim_->now() - stage3_begin, std::memory_order_relaxed);
+
+  if (spans_ != nullptr) {
+    const std::string lane = gpu_lane(gpu_index);
+    if (stage2_begin > stage1_begin) {
+      spans_->record("h2d", obs::SpanCategory::H2D, gspan, stage1_begin, stage2_begin, lane,
+                     node_id_);
+    }
+    if (stage3_begin > stage2_begin) {
+      spans_->record("kernel", obs::SpanCategory::Kernel, gspan, stage2_begin, stage3_begin,
+                     lane, node_id_);
+    }
+    if (sim_->now() > stage3_begin) {
+      spans_->record("d2h", obs::SpanCategory::D2H, gspan, stage3_begin, sim_->now(), lane,
+                     node_id_);
+    }
+    spans_->annotate(gspan, "cache_hits",
+                     std::to_string(pinned_keys.size() - inserted_keys.size()));
+    spans_->annotate(gspan, "cache_misses", std::to_string(inserted_keys.size()));
+    if (oom_backoffs > 0) {
+      spans_->annotate(gspan, "oom_retries", std::to_string(oom_backoffs));
+    }
+    spans_->close(gspan, sim_->now());
+  }
 
   finish(work, gpu_index);
 }

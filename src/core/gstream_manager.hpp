@@ -27,6 +27,7 @@
 #include "core/gwork.hpp"
 #include "gpu/api.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 
@@ -59,9 +60,13 @@ class GStreamManager {
  public:
   /// `registry` (optional, plumbed like the tracer) receives the hot-path
   /// distributions: queue depth at enqueue and GWork submit->done latency.
+  /// `spans` (optional) records each GWork's causal spans — gwork plus
+  /// per-stage H2D/kernel/D2H children, monolithic or per chunk — parented
+  /// to GWork::span; `node_id` tags them with the hosting worker.
   GStreamManager(sim::Simulation& sim, std::vector<gpu::CudaWrapper*> wrappers,
                  GMemoryManager& memory, const GStreamConfig& config,
-                 obs::MetricsRegistry* registry = nullptr);
+                 obs::MetricsRegistry* registry = nullptr, obs::SpanStore* spans = nullptr,
+                 int node_id = -1);
 
   /// Submit one GWork (Algorithm 5.1). Creates work->done, routes the work,
   /// and returns immediately; await work->done->wait() for completion.
@@ -163,8 +168,12 @@ class GStreamManager {
   /// Chunked execution: H2D(chunk i+1) ‖ kernel(chunk i) ‖ D2H(chunk i-1)
   /// through a device staging ring. Returns false (having changed nothing)
   /// when the ring cannot be reserved; the caller falls back to execute()'s
-  /// monolithic path.
-  sim::Co<bool> execute_chunked(StreamWorker* w, const GWorkPtr& work, const ChunkPlan& plan);
+  /// monolithic path. `gspan` is the enclosing gwork causal span.
+  sim::Co<bool> execute_chunked(StreamWorker* w, const GWorkPtr& work, const ChunkPlan& plan,
+                                obs::SpanId gspan);
+
+  /// Lane causal spans of GPU `gpu` render on ("node3/gpu1").
+  std::string gpu_lane(int gpu) const;
 
   /// Completion bookkeeping shared by the mapped and pipelined paths.
   void finish(const GWorkPtr& work, int gpu_index);
@@ -173,6 +182,8 @@ class GStreamManager {
   std::vector<gpu::CudaWrapper*> wrappers_;
   GMemoryManager* memory_;
   GStreamConfig config_;
+  obs::SpanStore* spans_ = nullptr;  // simulation-plane, like the scheduler state
+  int node_id_ = -1;
   sim::Rng rng_{0xC0FFEE};
   int round_robin_cursor_ = 0;
 

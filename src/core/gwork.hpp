@@ -79,6 +79,11 @@ struct GWork {
   /// Per-GWork chunk size override; 0 = GStreamConfig::chunk_bytes.
   std::uint64_t chunk_bytes = 0;
 
+  /// Causal parent for the GWork's spans (usually the producing task's
+  /// span; 0 = untraced). Plain id, not a pointer: the span may close
+  /// before detached pipeline stages retire.
+  std::uint64_t span = 0;
+
   /// Small by-value kernel argument block (kept alive by shared ownership).
   std::shared_ptr<void> params;
 

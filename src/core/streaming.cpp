@@ -94,6 +94,7 @@ sim::Co<void> gpu_batch_loop(Engine& engine, Job& job, Pipeline& pl, const Strea
     work->layout = op.layout;
     work->size = n;
     work->job_id = job.id();
+    work->span = job.span();
     GBuffer ib;
     ib.host = in_buf;
     ib.bytes = n * stride;

@@ -36,15 +36,27 @@ Job::Job(Engine& engine, std::string name) : engine_(&engine), id_(engine.next_j
 sim::Co<void> Job::submit() {
   GFLINK_CHECK_MSG(!submitted_, "job submitted twice");
   stats_.submitted_at = engine_->now();
+  obs::SpanStore& spans = engine_->cluster().spans();
+  // The trace root: everything the job does hangs off this span, and its
+  // duration is the makespan the critical-path breakdown must sum to.
+  span_ = spans.open("job", obs::SpanCategory::Control, 0, stats_.submitted_at, "master/job", 0,
+                     id_);
+  spans.annotate(span_, "name", stats_.name);
   // Client -> JobManager: ship the program, translate and optimize the
   // plan, acquire slots. Tsubmit + Tschedule in the paper's Eq. (1).
   co_await engine_->sim().delay(engine_->config().job_submit_overhead);
   co_await engine_->sim().delay(engine_->config().job_schedule_overhead);
   stats_.running_at = engine_->now();
+  spans.record("submit", obs::SpanCategory::Control, span_, stats_.submitted_at,
+               stats_.running_at, "master/job", 0);
   submitted_ = true;
 }
 
-void Job::finish() { stats_.finished_at = engine_->now(); }
+void Job::finish() {
+  stats_.finished_at = engine_->now();
+  engine_->cluster().spans().close(span_, stats_.finished_at);
+  span_ = 0;
+}
 
 // ---- Engine ----------------------------------------------------------------
 
@@ -54,6 +66,9 @@ Engine::Engine(const EngineConfig& config)
                [this](int t) { return owner_of_partition(t); }),
       default_parallelism_(0) {
   cluster_.tracer().set_enabled(config.trace);
+  // Causal spans are retained for DAG analysis only on traced runs; the
+  // flight-recorder rings stay on regardless (they are bounded).
+  cluster_.spans().set_retain(config.trace);
   const int slots = config_.slots_per_worker > 0 ? config_.slots_per_worker
                                                  : config_.cluster.worker.cpu.cores;
   workers_.push_back(nullptr);  // node 0 is the master
@@ -71,6 +86,8 @@ void Engine::schedule_worker_failure(int worker, sim::Time at, sim::Duration dow
   sim_.schedule_at(at, [this, worker] {
     alive_[static_cast<std::size_t>(worker)] = false;
     cluster_.metrics().inc("fault.worker_failures");
+    cluster_.flight().note_fault(sim_.now(), worker, "worker_failure",
+                                 "node" + std::to_string(worker) + " lost");
   });
   if (down_for > 0) {
     sim_.schedule_at(at + down_for, [this, worker] {
@@ -179,6 +196,9 @@ sim::Co<DataHandle> Engine::run_source(Job& job, const SourceSpec& source) {
   stat.begin = now();
   stat.tasks = partitions;
 
+  const obs::SpanId stage_span = cluster_.spans().open(
+      "stage:source", obs::SpanCategory::Control, job.span(), stat.begin, "master/stages", 0);
+
   co_await sim_.delay(config_.stage_schedule_overhead);
   std::vector<std::pair<int, int>> pending;  // (partition, assigned worker)
   for (int p = 0; p < partitions; ++p) {
@@ -197,20 +217,30 @@ sim::Co<DataHandle> Engine::run_source(Job& job, const SourceSpec& source) {
       wg.add();
       sim_.spawn([](Engine& eng, Job& jb, const SourceSpec& src, const dfs::FileInfo* fi,
                     MaterializedDataSet& result, int part_idx, int node, int nparts,
-                    std::shared_ptr<std::vector<int>> fails,
+                    obs::SpanId st_span, std::shared_ptr<std::vector<int>> fails,
                     sim::WaitGroup& join) -> sim::Co<void> {
+        obs::SpanStore& sp = eng.cluster().spans();
+        const obs::SpanId task_span =
+            sp.open("task:source", obs::SpanCategory::Control, st_span, eng.now(),
+                    "node" + std::to_string(node) + "/tasks", node);
         try {
           if (!eng.worker_alive(node)) throw TaskFailed{node};
           co_await eng.cluster().message(0, node);
           co_await eng.sim().delay(eng.config().task_deploy_overhead);
           Worker& w = eng.worker_state(node);
+          const sim::Time slot_wait = eng.now();
           co_await w.slots().acquire();
+          if (eng.now() > slot_wait) {
+            sp.record("wait:slot", obs::SpanCategory::Wait, task_span, slot_wait, eng.now(),
+                      "node" + std::to_string(node) + "/slots", node);
+          }
           try {
             // Read this partition's share of blocks (round-robin).
             if (fi != nullptr) {
               for (std::size_t b = static_cast<std::size_t>(part_idx); b < fi->blocks.size();
                    b += static_cast<std::size_t>(nparts)) {
-                co_await eng.dfs().read_block(node, fi->blocks[b]);
+                co_await eng.dfs().read_block(node, fi->blocks[b],
+                                              {task_span, obs::SpanCategory::Control});
                 jb.stats().io_bytes_read += fi->blocks[b].bytes;
               }
             }
@@ -226,12 +256,17 @@ sim::Co<DataHandle> Engine::run_source(Job& job, const SourceSpec& source) {
             throw;
           }
           w.slots().release();
+          sp.close(task_span, eng.now());
         } catch (const TaskFailed&) {
+          sp.annotate(task_span, "failed", "worker_lost");
+          sp.close(task_span, eng.now());
+          eng.cluster().flight().note_event(eng.now(), node, "task_failed",
+                                            "source partition " + std::to_string(part_idx));
           ++eng.tasks_failed_;
           fails->push_back(part_idx);
         }
         join.done();
-      }(*this, job, source, file, *out, part, owner, partitions, failed, wg));
+      }(*this, job, source, file, *out, part, owner, partitions, stage_span, failed, wg));
     }
     co_await wg.wait();
     pending.clear();
@@ -246,6 +281,7 @@ sim::Co<DataHandle> Engine::run_source(Job& job, const SourceSpec& source) {
 
   stat.end = now();
   stat.records_out = out->total_records();
+  cluster_.spans().close(stage_span, stat.end);
   note_stage(stat);
   job.stats().stages.push_back(std::move(stat));
   co_return out;
@@ -292,13 +328,23 @@ mem::RecordBatch Engine::combine_by_key(const OpNode& reduce, const mem::RecordB
 sim::Co<void> Engine::stage_task(Job& job, const Stage& stage, int part_index,
                                  const MaterializedDataSet::Part& in, MaterializedDataSet& out,
                                  shuffle::ShuffleSession* exchange, int out_partitions,
-                                 StageStat& stat) {
+                                 StageStat& stat, obs::SpanId stage_span) {
   const int worker = in.worker;
+  obs::SpanStore& sp = cluster_.spans();
+  const obs::SpanId task_span =
+      sp.open("task:" + stat.name, obs::SpanCategory::Control, stage_span, now(),
+              "node" + std::to_string(worker) + "/tasks", worker);
+  try {
   if (!worker_alive(worker)) throw TaskFailed{worker};
   co_await cluster_.message(0, worker);  // task deployment RPC
   co_await sim_.delay(config_.task_deploy_overhead);
   Worker& w = worker_state(worker);
+  const sim::Time slot_wait = now();
   co_await w.slots().acquire();
+  if (now() > slot_wait) {
+    sp.record("wait:slot", obs::SpanCategory::Wait, task_span, slot_wait, now(),
+              "node" + std::to_string(worker) + "/slots", worker);
+  }
 
   const std::uint64_t records_in = in.batch ? in.batch->count() : 0;
   stat.records_in += records_in;
@@ -325,7 +371,7 @@ sim::Co<void> Engine::stage_task(Job& job, const Stage& stage, int part_index,
     out.parts[static_cast<std::size_t>(part_index)] = {worker, std::move(result)};
   } else if (terminal->kind == OpKind::AsyncPartition) {
     auto result = std::make_shared<mem::RecordBatch>(terminal->out_desc);
-    TaskContext ctx(*this, job, worker, part_index);
+    TaskContext ctx(*this, job, worker, part_index, task_span);
     co_await terminal->async_fn(ctx, *batch, *result);
     out.parts[static_cast<std::size_t>(part_index)] = {worker, std::move(result)};
   } else if (terminal->kind == OpKind::ReduceByKey) {
@@ -373,12 +419,30 @@ sim::Co<void> Engine::stage_task(Job& job, const Stage& stage, int part_index,
   }
 
   w.slots().release();
+  sp.close(task_span, now());
+  } catch (const TaskFailed&) {
+    sp.annotate(task_span, "failed", "worker_lost");
+    sp.close(task_span, now());
+    cluster_.flight().note_event(now(), worker, "task_failed",
+                                 stat.name + " partition " + std::to_string(part_index));
+    throw;
+  }
 }
 
 sim::Co<void> Engine::scatter_partition(const MaterializedDataSet::Part& part, const KeyFn& key,
-                                        shuffle::ShuffleSession& session) {
+                                        shuffle::ShuffleSession& session,
+                                        obs::SpanId stage_span) {
+  obs::SpanStore& sp = cluster_.spans();
+  const obs::SpanId task_span =
+      sp.open("task:scatter", obs::SpanCategory::Control, stage_span, now(),
+              "node" + std::to_string(part.worker) + "/tasks", part.worker);
   Worker& w = worker_state(part.worker);
+  const sim::Time slot_wait = now();
   co_await w.slots().acquire();
+  if (now() > slot_wait) {
+    sp.record("wait:slot", obs::SpanCategory::Wait, task_span, slot_wait, now(),
+              "node" + std::to_string(part.worker) + "/slots", part.worker);
+  }
   std::vector<mem::RecordBatch> buckets =
       session.partition(*part.batch, &part.batch->desc(), key, nullptr);
   // Cost: key extraction + serialization-free bucketing per record.
@@ -387,6 +451,7 @@ sim::Co<void> Engine::scatter_partition(const MaterializedDataSet::Part& part, c
                           16.0, static_cast<double>(part.batch->desc().stride())));
   co_await session.send(part.worker, std::move(buckets));
   w.slots().release();
+  sp.close(task_span, now());
 }
 
 sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle input) {
@@ -405,6 +470,10 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
   stat.begin = now();
   stat.tasks = static_cast<int>(input->parts.size());
 
+  const obs::SpanId stage_span = cluster_.spans().open(
+      "stage:" + stat.name, obs::SpanCategory::Control, job.span(), stat.begin, "master/stages",
+      0);
+
   const int out_partitions = static_cast<int>(input->parts.size());
   auto out = std::make_shared<MaterializedDataSet>();
   out->desc = stage.out_desc != nullptr ? stage.out_desc : input->desc;
@@ -412,7 +481,8 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
 
   std::unique_ptr<shuffle::ShuffleSession> exchange;
   if (shuffles) {
-    exchange = std::make_unique<shuffle::ShuffleSession>(shuffle_, out_partitions, "shuffle");
+    exchange = std::make_unique<shuffle::ShuffleSession>(shuffle_, out_partitions, "shuffle",
+                                                         stage_span);
   }
 
   co_await sim_.delay(config_.stage_schedule_overhead);
@@ -431,18 +501,18 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
       wg.add();
       sim_.spawn([](Engine& eng, Job& jb, const Stage& st, int idx,
                     MaterializedDataSet::Part part_in, MaterializedDataSet& result,
-                    shuffle::ShuffleSession* ex, int nparts, StageStat& ss,
+                    shuffle::ShuffleSession* ex, int nparts, StageStat& ss, obs::SpanId st_span,
                     std::shared_ptr<std::vector<int>> fails,
                     sim::WaitGroup& join) -> sim::Co<void> {
         try {
-          co_await eng.stage_task(jb, st, idx, part_in, result, ex, nparts, ss);
+          co_await eng.stage_task(jb, st, idx, part_in, result, ex, nparts, ss, st_span);
         } catch (const TaskFailed&) {
           ++eng.tasks_failed_;
           fails->push_back(idx);
         }
         join.done();
       }(*this, job, stage, index, part, *out, exchange.get(), out_partitions,
-        stat, failed, wg));
+        stat, stage_span, failed, wg));
     }
     co_await wg.wait();
     pending.clear();
@@ -469,13 +539,23 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
       merge_wg.add();
       sim_.spawn([](Engine& eng, const Stage& st, shuffle::ShuffleSession& ex,
                     MaterializedDataSet& result, int t_index, StageStat& ss,
-                    sim::WaitGroup& join) -> sim::Co<void> {
+                    obs::SpanId st_span, sim::WaitGroup& join) -> sim::Co<void> {
         const int node = eng.owner_of_partition(t_index);
+        obs::SpanStore& sp = eng.cluster().spans();
+        const obs::SpanId task_span =
+            sp.open("task:merge", obs::SpanCategory::Control, st_span, eng.now(),
+                    "node" + std::to_string(node) + "/tasks", node);
         Worker& w = eng.worker_state(node);
+        const sim::Time slot_wait = eng.now();
         co_await w.slots().acquire();
+        if (eng.now() > slot_wait) {
+          sp.record("wait:slot", obs::SpanCategory::Wait, task_span, slot_wait, eng.now(),
+                    "node" + std::to_string(node) + "/slots", node);
+        }
         const OpNode* term = st.terminal;
         // Reads spilled deposits back from the DFS before merging.
-        std::vector<mem::RecordBatch> deposited = co_await ex.take(t_index, node);
+        std::vector<mem::RecordBatch> deposited =
+            co_await ex.take(t_index, node, {task_span, obs::SpanCategory::Spill});
         std::uint64_t n = 0;
         for (const auto& b : deposited) n += b.count();
         auto merged = std::make_shared<mem::RecordBatch>(term->out_desc);
@@ -515,15 +595,17 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
         }
         result.parts[static_cast<std::size_t>(t_index)] = {node, std::move(merged)};
         w.slots().release();
+        sp.close(task_span, eng.now());
         (void)ss;
         join.done();
-      }(*this, stage, *exchange, *out, t, stat, merge_wg));
+      }(*this, stage, *exchange, *out, t, stat, stage_span, merge_wg));
     }
     co_await merge_wg.wait();
   }
 
   stat.end = now();
   stat.records_out = out->total_records();
+  cluster_.spans().close(stage_span, stat.end);
   job.stats().shuffle_bytes += stat.shuffle_bytes;
   note_stage(stat);
   job.stats().stages.push_back(std::move(stat));
@@ -589,11 +671,11 @@ sim::Co<void> Engine::write_dfs(Job& job, PlanNodePtr sink, const std::string& p
     wg.add();
     job.stats().io_bytes_written += part.batch->byte_size();
     sim_.spawn([](Engine& eng, const MaterializedDataSet::Part& p, std::string file,
-                  sim::WaitGroup& join) -> sim::Co<void> {
+                  obs::SpanId job_span, sim::WaitGroup& join) -> sim::Co<void> {
       co_await eng.dfs().write(p.worker, file + ".part" + std::to_string(p.worker),
-                               p.batch->byte_size());
+                               p.batch->byte_size(), {job_span, obs::SpanCategory::Control});
       join.done();
-    }(*this, part, path, wg));
+    }(*this, part, path, job.span(), wg));
   }
   co_await wg.wait();
 }
@@ -612,21 +694,26 @@ sim::Co<DataHandle> Engine::join(Job& job, const DataHandle& left, const DataHan
   stat.begin = now();
   stat.tasks = static_cast<int>(left->parts.size() + right->parts.size());
 
+  const obs::SpanId stage_span = cluster_.spans().open(
+      "stage:" + stat.name, obs::SpanCategory::Control, job.span(), stat.begin, "master/stages",
+      0);
+
   co_await sim_.delay(config_.stage_schedule_overhead);
 
   // Phase 1: co-partition both inputs by key hash.
-  shuffle::ShuffleSession lex(shuffle_, nparts, "join-shuffle");
-  shuffle::ShuffleSession rex(shuffle_, nparts, "join-shuffle");
+  shuffle::ShuffleSession lex(shuffle_, nparts, "join-shuffle", stage_span);
+  shuffle::ShuffleSession rex(shuffle_, nparts, "join-shuffle", stage_span);
   sim::WaitGroup wg(sim_);
   auto scatter = [&](const DataHandle& side, const KeyFn& key, shuffle::ShuffleSession& ex) {
     for (const auto& part : side->parts) {
       if (!part.batch) continue;
       wg.add();
       sim_.spawn([](Engine& eng, const MaterializedDataSet::Part& p, const KeyFn& kf,
-                    shuffle::ShuffleSession& e, sim::WaitGroup& join) -> sim::Co<void> {
-        co_await eng.scatter_partition(p, kf, e);
+                    shuffle::ShuffleSession& e, obs::SpanId st_span,
+                    sim::WaitGroup& join) -> sim::Co<void> {
+        co_await eng.scatter_partition(p, kf, e, st_span);
         join.done();
-      }(*this, part, key, ex, wg));
+      }(*this, part, key, ex, stage_span, wg));
     }
   };
   scatter(left, left_key, lex);
@@ -645,13 +732,24 @@ sim::Co<DataHandle> Engine::join(Job& job, const DataHandle& left, const DataHan
     jg.add();
     sim_.spawn([](Engine& eng, shuffle::ShuffleSession& le, shuffle::ShuffleSession& re,
                   MaterializedDataSet& result, const KeyFn& lk, const KeyFn& rk,
-                  const JoinFn& jf, OpCost c, int t_index,
+                  const JoinFn& jf, OpCost c, int t_index, obs::SpanId st_span,
                   sim::WaitGroup& join) -> sim::Co<void> {
       const int node = eng.owner_of_partition(t_index);
+      obs::SpanStore& sp = eng.cluster().spans();
+      const obs::SpanId task_span =
+          sp.open("task:join", obs::SpanCategory::Control, st_span, eng.now(),
+                  "node" + std::to_string(node) + "/tasks", node);
       Worker& w = eng.worker_state(node);
+      const sim::Time slot_wait = eng.now();
       co_await w.slots().acquire();
-      std::vector<mem::RecordBatch> lbs = co_await le.take(t_index, node);
-      std::vector<mem::RecordBatch> rbs = co_await re.take(t_index, node);
+      if (eng.now() > slot_wait) {
+        sp.record("wait:slot", obs::SpanCategory::Wait, task_span, slot_wait, eng.now(),
+                  "node" + std::to_string(node) + "/slots", node);
+      }
+      std::vector<mem::RecordBatch> lbs =
+          co_await le.take(t_index, node, {task_span, obs::SpanCategory::Spill});
+      std::vector<mem::RecordBatch> rbs =
+          co_await re.take(t_index, node, {task_span, obs::SpanCategory::Spill});
       std::unordered_multimap<std::uint64_t, const std::byte*> table;
       std::uint64_t nl = 0, nr = 0;
       for (const auto& b : lbs) {
@@ -675,13 +773,15 @@ sim::Co<DataHandle> Engine::join(Job& job, const DataHandle& left, const DataHan
           eng.cluster().node(node).record_time(c.flops, c.bytes));
       result.parts[static_cast<std::size_t>(t_index)] = {node, std::move(merged)};
       w.slots().release();
+      sp.close(task_span, eng.now());
       join.done();
-    }(*this, lex, rex, *out, left_key, right_key, join_fn, cost, t, jg));
+    }(*this, lex, rex, *out, left_key, right_key, join_fn, cost, t, stage_span, jg));
   }
   co_await jg.wait();
 
   stat.end = now();
   stat.records_out = out->total_records();
+  cluster_.spans().close(stage_span, stat.end);
   job.stats().shuffle_bytes += stat.shuffle_bytes;
   note_stage(stat);
   job.stats().stages.push_back(std::move(stat));
@@ -705,21 +805,27 @@ sim::Co<DataHandle> Engine::co_group(Job& job, const DataHandle& left,
   stat.name = name;
   stat.begin = now();
   stat.tasks = static_cast<int>(left->parts.size() + right->parts.size());
+
+  const obs::SpanId stage_span = cluster_.spans().open(
+      "stage:" + stat.name, obs::SpanCategory::Control, job.span(), stat.begin, "master/stages",
+      0);
+
   co_await sim_.delay(config_.stage_schedule_overhead);
 
   // Phase 1: co-partition both sides by key hash (same as join).
-  shuffle::ShuffleSession lex(shuffle_, nparts, "cogroup-shuffle");
-  shuffle::ShuffleSession rex(shuffle_, nparts, "cogroup-shuffle");
+  shuffle::ShuffleSession lex(shuffle_, nparts, "cogroup-shuffle", stage_span);
+  shuffle::ShuffleSession rex(shuffle_, nparts, "cogroup-shuffle", stage_span);
   sim::WaitGroup wg(sim_);
   auto scatter = [&](const DataHandle& side, const KeyFn& key, shuffle::ShuffleSession& ex) {
     for (const auto& part : side->parts) {
       if (!part.batch) continue;
       wg.add();
       sim_.spawn([](Engine& eng, const MaterializedDataSet::Part& p, const KeyFn& kf,
-                    shuffle::ShuffleSession& e, sim::WaitGroup& join) -> sim::Co<void> {
-        co_await eng.scatter_partition(p, kf, e);
+                    shuffle::ShuffleSession& e, obs::SpanId st_span,
+                    sim::WaitGroup& join) -> sim::Co<void> {
+        co_await eng.scatter_partition(p, kf, e, st_span);
         join.done();
-      }(*this, part, key, ex, wg));
+      }(*this, part, key, ex, stage_span, wg));
     }
   };
   scatter(left, left_key, lex);
@@ -738,13 +844,24 @@ sim::Co<DataHandle> Engine::co_group(Job& job, const DataHandle& left,
     gg.add();
     sim_.spawn([](Engine& eng, shuffle::ShuffleSession& le, shuffle::ShuffleSession& re,
                   MaterializedDataSet& result, const KeyFn& lk, const KeyFn& rk,
-                  const CoGroupFn& gf, OpCost c, int t_index,
+                  const CoGroupFn& gf, OpCost c, int t_index, obs::SpanId st_span,
                   sim::WaitGroup& join) -> sim::Co<void> {
       const int node = eng.owner_of_partition(t_index);
+      obs::SpanStore& sp = eng.cluster().spans();
+      const obs::SpanId task_span =
+          sp.open("task:cogroup", obs::SpanCategory::Control, st_span, eng.now(),
+                  "node" + std::to_string(node) + "/tasks", node);
       Worker& w = eng.worker_state(node);
+      const sim::Time slot_wait = eng.now();
       co_await w.slots().acquire();
-      std::vector<mem::RecordBatch> lbs = co_await le.take(t_index, node);
-      std::vector<mem::RecordBatch> rbs = co_await re.take(t_index, node);
+      if (eng.now() > slot_wait) {
+        sp.record("wait:slot", obs::SpanCategory::Wait, task_span, slot_wait, eng.now(),
+                  "node" + std::to_string(node) + "/slots", node);
+      }
+      std::vector<mem::RecordBatch> lbs =
+          co_await le.take(t_index, node, {task_span, obs::SpanCategory::Spill});
+      std::vector<mem::RecordBatch> rbs =
+          co_await re.take(t_index, node, {task_span, obs::SpanCategory::Spill});
       std::map<std::uint64_t, std::pair<std::vector<const std::byte*>,
                                         std::vector<const std::byte*>>>
           groups;
@@ -770,13 +887,15 @@ sim::Co<DataHandle> Engine::co_group(Job& job, const DataHandle& left,
                                eng.cluster().node(node).record_time(c.flops, c.bytes));
       result.parts[static_cast<std::size_t>(t_index)] = {node, std::move(merged)};
       w.slots().release();
+      sp.close(task_span, eng.now());
       join.done();
-    }(*this, lex, rex, *out, left_key, right_key, group_fn, cost, t, gg));
+    }(*this, lex, rex, *out, left_key, right_key, group_fn, cost, t, stage_span, gg));
   }
   co_await gg.wait();
 
   stat.end = now();
   stat.records_out = out->total_records();
+  cluster_.spans().close(stage_span, stat.end);
   job.stats().shuffle_bytes += stat.shuffle_bytes;
   note_stage(stat);
   job.stats().stages.push_back(std::move(stat));

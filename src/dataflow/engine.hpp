@@ -116,9 +116,10 @@ class Worker {
 /// GFlink extension point.
 class TaskContext {
  public:
-  TaskContext(Engine& engine, Job& job, int worker_node, int partition_index)
+  TaskContext(Engine& engine, Job& job, int worker_node, int partition_index,
+              obs::SpanId span = 0)
       : engine_(&engine), job_(&job), worker_node_(worker_node),
-        partition_index_(partition_index) {}
+        partition_index_(partition_index), span_(span) {}
 
   Engine& engine() { return *engine_; }
   Job& job() { return *job_; }
@@ -126,6 +127,8 @@ class TaskContext {
   /// Index of the partition this task processes — stable across iterations,
   /// which is what GPU cache keys are derived from.
   int partition() const { return partition_index_; }
+  /// The task's causal span — the parent for GPU-side GWork spans.
+  obs::SpanId span() const { return span_; }
   sim::Simulation& sim();
   net::Node& node();
   Worker& worker_state();
@@ -136,6 +139,7 @@ class TaskContext {
   Job* job_;
   int worker_node_;
   int partition_index_;
+  obs::SpanId span_;
 };
 
 /// A submitted job: the accounting scope for Eq. (1)'s terms. Drivers
@@ -156,13 +160,16 @@ class Job {
   JobStats& stats() { return stats_; }
   const JobStats& stats() const { return stats_; }
   Engine& engine() { return *engine_; }
-  /// Cluster-unique job id (scopes GPU cache regions).
+  /// Cluster-unique job id (scopes GPU cache regions and trace ids).
   std::uint64_t id() const { return id_; }
+  /// Root causal span of the job's trace (0 before submit()).
+  obs::SpanId span() const { return span_; }
 
  private:
   Engine* engine_;
   JobStats stats_;
   std::uint64_t id_;
+  obs::SpanId span_ = 0;
   bool submitted_ = false;
 };
 
@@ -281,7 +288,7 @@ class Engine {
   sim::Co<void> stage_task(Job& job, const Stage& stage, int part_index,
                            const MaterializedDataSet::Part& in,
                            MaterializedDataSet& out, shuffle::ShuffleSession* exchange,
-                           int out_partitions, StageStat& stat);
+                           int out_partitions, StageStat& stat, obs::SpanId stage_span);
 
   // Apply the record-op chain; returns the resulting batch and charges CPU.
   sim::Co<std::shared_ptr<mem::RecordBatch>> apply_record_ops(
@@ -291,7 +298,7 @@ class Engine {
   // hash (charging the bucketing CPU) and ship the buckets through
   // `session` — the single copy of the per-bucket send loop.
   sim::Co<void> scatter_partition(const MaterializedDataSet::Part& part, const KeyFn& key,
-                                  shuffle::ShuffleSession& session);
+                                  shuffle::ShuffleSession& session, obs::SpanId stage_span);
 
   // Local combine of `batch` into per-key accumulators.
   static mem::RecordBatch combine_by_key(const OpNode& reduce, const mem::RecordBatch& batch);

@@ -75,7 +75,7 @@ int Gdfs::preferred_replica(int reader, const BlockInfo& block) const {
   return block.replicas.front();
 }
 
-sim::Co<void> Gdfs::read_block(int reader, const BlockInfo& block) {
+sim::Co<void> Gdfs::read_block(int reader, const BlockInfo& block, obs::SpanLink link) {
   auto& metrics = cluster_->metrics();
   int source = preferred_replica(reader, block);
   metrics.inc("dfs.blocks_read");
@@ -85,22 +85,23 @@ sim::Co<void> Gdfs::read_block(int reader, const BlockInfo& block) {
   } else {
     metrics.inc("dfs.remote_reads");
   }
-  co_await cluster_->node(source).disk_read().transfer(block.bytes, "dfs-read");
+  co_await cluster_->node(source).disk_read().transfer(block.bytes, "dfs-read", link);
   if (source != reader) {
-    co_await cluster_->transfer(source, reader, block.bytes, "dfs-read");
+    co_await cluster_->transfer(source, reader, block.bytes, "dfs-read", link);
   }
 }
 
-sim::Co<void> Gdfs::read_file(int reader, const std::string& path) {
+sim::Co<void> Gdfs::read_file(int reader, const std::string& path, obs::SpanLink link) {
   const FileInfo* f = stat(path);
   GFLINK_CHECK_MSG(f != nullptr, "no such file: " + path);
   co_await cluster_->sim().delay(config_.namenode_latency);
   for (const auto& b : f->blocks) {
-    co_await read_block(reader, b);
+    co_await read_block(reader, b, link);
   }
 }
 
-sim::Co<void> Gdfs::write(int writer, const std::string& path, std::uint64_t bytes) {
+sim::Co<void> Gdfs::write(int writer, const std::string& path, std::uint64_t bytes,
+                          obs::SpanLink link) {
   co_await cluster_->sim().delay(config_.namenode_latency);
   // Metadata phase under the namenode lock, released before any simulated
   // I/O below. Snapshot the newly appended spans BY VALUE meanwhile:
@@ -150,9 +151,9 @@ sim::Co<void> Gdfs::write(int writer, const std::string& path, std::uint64_t byt
     int prev = writer;
     for (int replica : s.replicas) {
       if (replica != prev) {
-        co_await cluster_->transfer(prev, replica, s.bytes, "dfs-write");
+        co_await cluster_->transfer(prev, replica, s.bytes, "dfs-write", link);
       }
-      co_await cluster_->node(replica).disk_write().transfer(s.bytes, "dfs-write");
+      co_await cluster_->node(replica).disk_write().transfer(s.bytes, "dfs-write", link);
       prev = replica;
     }
   }

@@ -75,17 +75,18 @@ class Gdfs {
   bool node_alive(int node) const { return !alive_ || alive_(node); }
 
   /// Read one block into memory at `reader`: replica disk + (if remote) a
-  /// network transfer.
-  sim::Co<void> read_block(int reader, const BlockInfo& block);
+  /// network transfer. `link` parents the disk/NIC causal spans.
+  sim::Co<void> read_block(int reader, const BlockInfo& block, obs::SpanLink link = {});
 
   /// Read a whole file serially at one node (used by single-reader
   /// drivers; parallel readers issue per-block reads themselves).
-  sim::Co<void> read_file(int reader, const std::string& path);
+  sim::Co<void> read_file(int reader, const std::string& path, obs::SpanLink link = {});
 
   /// Append `bytes` to a (possibly new) file from `writer`: pipelined
   /// replica writes — local disk write plus transfer+disk at each remote
-  /// replica.
-  sim::Co<void> write(int writer, const std::string& path, std::uint64_t bytes);
+  /// replica. `link` parents the disk/NIC causal spans.
+  sim::Co<void> write(int writer, const std::string& path, std::uint64_t bytes,
+                      obs::SpanLink link = {});
 
   net::Cluster& cluster() { return *cluster_; }
 

@@ -4,17 +4,18 @@
 
 namespace gflink::net {
 
-Node::Node(sim::Simulation& sim, int id, const NodeSpec& spec, sim::Tracer* tracer)
+Node::Node(sim::Simulation& sim, int id, const NodeSpec& spec, sim::Tracer* tracer,
+           obs::SpanStore* spans)
     : id_(id),
       spec_(spec),
       egress_(sim, "node" + std::to_string(id) + "/egress", spec.nic.bandwidth, spec.nic.latency,
-              tracer),
+              tracer, spans, id),
       ingress_(sim, "node" + std::to_string(id) + "/ingress", spec.nic.bandwidth, spec.nic.latency,
-               tracer),
+               tracer, spans, id),
       disk_read_(sim, "node" + std::to_string(id) + "/disk_read", spec.disk.read_bandwidth,
-                 spec.disk.access_latency, tracer),
+                 spec.disk.access_latency, tracer, spans, id),
       disk_write_(sim, "node" + std::to_string(id) + "/disk_write", spec.disk.write_bandwidth,
-                  spec.disk.access_latency, tracer) {}
+                  spec.disk.access_latency, tracer, spans, id) {}
 
 Duration Node::record_time(double flops, double bytes) const {
   double compute_s = flops / spec_.cpu.effective_flops;
@@ -28,9 +29,10 @@ Cluster::Cluster(sim::Simulation& sim, const ClusterConfig& config)
   GFLINK_CHECK(config.num_workers >= 1);
   GFLINK_CHECK_MSG(!config.colocated_master || config.num_workers == 1,
                    "colocated master requires a single worker");
-  nodes_.push_back(std::make_unique<Node>(sim, 0, config.master, &tracer_));
+  spans_.attach_flight_recorder(&flight_);
+  nodes_.push_back(std::make_unique<Node>(sim, 0, config.master, &tracer_, &spans_));
   for (int i = 1; i <= config.num_workers; ++i) {
-    nodes_.push_back(std::make_unique<Node>(sim, i, config.worker, &tracer_));
+    nodes_.push_back(std::make_unique<Node>(sim, i, config.worker, &tracer_, &spans_));
   }
 }
 
@@ -42,17 +44,20 @@ void Cluster::export_metrics(obs::MetricsRegistry& out) const {
     node->disk_read().export_metrics(out);
     node->disk_write().export_metrics(out);
   }
+  spans_.export_metrics(out);
+  flight_.export_metrics(out);
 }
 
-sim::Co<void> Cluster::transfer(int src, int dst, std::uint64_t bytes, const std::string& label) {
+sim::Co<void> Cluster::transfer(int src, int dst, std::uint64_t bytes, const std::string& label,
+                                obs::SpanLink link) {
   if (src == dst) co_return;  // in-memory, no NIC involvement
   if (colocated_master_ && (src == 0 || dst == 0)) co_return;
   metrics_.inc("net.bytes", static_cast<double>(bytes));
   metrics_.inc("net.transfers");
   // Egress first, then ingress: the acquisition order (always egress before
   // ingress, never the reverse) is deadlock-free by construction.
-  co_await node(src).egress().transfer(bytes, label);
-  co_await node(dst).ingress().transfer(bytes, label);
+  co_await node(src).egress().transfer(bytes, label, link);
+  co_await node(dst).ingress().transfer(bytes, label, link);
 }
 
 sim::Co<void> Cluster::message(int src, int dst) {

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "core/thread_annotations.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
@@ -59,16 +61,27 @@ struct NodeSpec {
 class Pipe {
  public:
   Pipe(sim::Simulation& sim, std::string name, double bandwidth, Duration latency,
-       sim::Tracer* tracer = nullptr)
+       sim::Tracer* tracer = nullptr, obs::SpanStore* spans = nullptr, int node = -1)
       : sim_(&sim),
         name_(std::move(name)),
         bandwidth_(bandwidth),
         latency_(latency),
         mutex_(sim),
-        tracer_(tracer) {}
+        tracer_(tracer),
+        spans_(spans),
+        node_(node) {
+    // Causal spans on one pipe share a peer-group name derived from the
+    // pipe kind ("net:egress", "net:disk_write", ...).
+    auto slash = name_.rfind('/');
+    kind_ = "net:" + (slash == std::string::npos ? name_ : name_.substr(slash + 1));
+  }
 
-  /// Occupy the pipe for the duration of the transfer.
-  sim::Co<void> transfer(std::uint64_t bytes, const std::string& label = {}) {
+  /// Occupy the pipe for the duration of the transfer. When `link` carries
+  /// a parent span, the transfer is recorded as a causal child span (from
+  /// request to completion, with the time queued behind earlier transfers
+  /// as a nested Wait span).
+  sim::Co<void> transfer(std::uint64_t bytes, const std::string& label = {},
+                         obs::SpanLink link = {}) {
     const Time requested = sim_->now();
     co_await mutex_.lock();
     Time begin = sim_->now();
@@ -85,6 +98,15 @@ class Pipe {
       busy_ns_ += sim_->now() - begin;
     }
     if (tracer_) tracer_->record(name_, label, begin, sim_->now());
+    if (spans_ != nullptr && link.parent != 0) {
+      const obs::SpanId xfer =
+          spans_->open(kind_, link.category, link.parent, requested, name_, node_);
+      if (begin > requested) {
+        spans_->record("wait:queue", obs::SpanCategory::Wait, xfer, requested, begin, name_,
+                       node_);
+      }
+      spans_->close(xfer, sim_->now());
+    }
     mutex_.unlock();
   }
 
@@ -138,6 +160,9 @@ class Pipe {
   Duration latency_;
   sim::Mutex mutex_;  // the simulated resource itself (FIFO occupancy)
   sim::Tracer* tracer_;
+  obs::SpanStore* spans_;  // simulation-plane, like tracer_
+  int node_;               // owning node id for causal spans
+  std::string kind_;       // peer-group span name, e.g. "net:egress"
   /// Guards the stats below as one consistent tuple (bytes+count+durations
   /// move together, so individual atomics would tear the snapshot). Leaf
   /// lock; never held across a co_await.
@@ -151,7 +176,8 @@ class Pipe {
 /// One machine in the cluster.
 class Node {
  public:
-  Node(sim::Simulation& sim, int id, const NodeSpec& spec, sim::Tracer* tracer);
+  Node(sim::Simulation& sim, int id, const NodeSpec& spec, sim::Tracer* tracer,
+       obs::SpanStore* spans = nullptr);
 
   int id() const { return id_; }
   const NodeSpec& spec() const { return spec_; }
@@ -205,14 +231,20 @@ class Cluster {
   const sim::Tracer& tracer() const { return tracer_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::SpanStore& spans() { return spans_; }
+  const obs::SpanStore& spans() const { return spans_; }
+  obs::FlightRecorder& flight() { return flight_; }
+  const obs::FlightRecorder& flight() const { return flight_; }
 
-  /// Publish the cluster's registry plus every node's pipe totals into
-  /// `out` (the run-report capture path).
+  /// Publish the cluster's registry plus every node's pipe totals (and the
+  /// trace_*/flight_* rollups) into `out` (the run-report capture path).
   void export_metrics(obs::MetricsRegistry& out) const;
 
   /// Bulk data transfer src -> dst through both NICs (store-and-forward at
-  /// the bottleneck rate). Local "transfers" are free.
-  sim::Co<void> transfer(int src, int dst, std::uint64_t bytes, const std::string& label = {});
+  /// the bottleneck rate). Local "transfers" are free. `link` parents the
+  /// per-NIC causal spans.
+  sim::Co<void> transfer(int src, int dst, std::uint64_t bytes, const std::string& label = {},
+                         obs::SpanLink link = {});
 
   /// Small control message (RPC): latency only, no bandwidth occupation.
   sim::Co<void> message(int src, int dst);
@@ -222,6 +254,8 @@ class Cluster {
   bool colocated_master_ = false;
   sim::Tracer tracer_;
   obs::MetricsRegistry metrics_;
+  obs::SpanStore spans_;        // causal span DAG (simulation-plane)
+  obs::FlightRecorder flight_;  // always-on bounded post-mortem rings
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

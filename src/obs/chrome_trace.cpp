@@ -32,6 +32,14 @@ void write_event_prefix(std::ostream& os, bool& first) {
   os << "    ";
 }
 
+/// Display lane for a causal span: its own lane if set, otherwise a
+/// per-node catch-all so every span lands on some swimlane.
+std::string causal_lane(const CausalSpan& s) {
+  if (!s.lane.empty()) return s.lane;
+  if (s.node >= 0) return "node" + std::to_string(s.node) + "/causal";
+  return "master/causal";
+}
+
 }  // namespace
 
 std::map<std::string, LaneUtilization> lane_utilization(const sim::Tracer& tracer,
@@ -48,20 +56,26 @@ std::map<std::string, LaneUtilization> lane_utilization(const sim::Tracer& trace
 }
 
 void write_chrome_trace(std::ostream& os, const sim::Tracer& tracer,
-                        const MetricsRegistry* metrics, sim::Time horizon) {
+                        const MetricsRegistry* metrics, sim::Time horizon,
+                        const SpanStore* spans) {
   if (horizon <= 0) horizon = latest_span_end(tracer);
+  if (spans != nullptr && spans->spans().empty()) spans = nullptr;
 
   // Stable pid/tid assignment: processes and threads numbered in first-seen
   // order over the (deterministic) span sequence.
   std::map<std::string, int> pids;   // process name -> pid
   std::map<std::string, int> tids;   // full lane -> tid
   std::vector<std::pair<std::string, std::string>> lane_split;  // tid order
-  for (const auto& s : tracer.spans()) {
-    if (tids.count(s.lane)) continue;
-    auto [proc, thread] = split_lane(s.lane);
+  auto intern_lane = [&](const std::string& lane) {
+    if (tids.count(lane)) return;
+    auto [proc, thread] = split_lane(lane);
     if (!pids.count(proc)) pids.emplace(proc, static_cast<int>(pids.size()) + 1);
-    tids.emplace(s.lane, static_cast<int>(tids.size()) + 1);
+    tids.emplace(lane, static_cast<int>(tids.size()) + 1);
     lane_split.emplace_back(proc, thread);
+  };
+  for (const auto& s : tracer.spans()) intern_lane(s.lane);
+  if (spans != nullptr) {
+    for (const auto& s : spans->spans()) intern_lane(causal_lane(s));
   }
 
   os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
@@ -73,14 +87,12 @@ void write_chrome_trace(std::ostream& os, const sim::Tracer& tracer,
     os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
        << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(proc) << "\"}}";
   }
-  {
-    std::size_t i = 0;
-    for (const auto& [lane, tid] : tids) {
-      const auto& [proc, thread] = lane_split[i++];
-      write_event_prefix(os, first);
-      os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pids.at(proc)
-         << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(thread) << "\"}}";
-    }
+  for (const auto& [lane, tid] : tids) {
+    // tids were assigned in first-seen order, so tid-1 indexes lane_split.
+    const auto& [proc, thread] = lane_split[static_cast<std::size_t>(tid) - 1];
+    write_event_prefix(os, first);
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pids.at(proc)
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(thread) << "\"}}";
   }
 
   // Spans: complete ("X") events, timestamps in microseconds.
@@ -91,6 +103,43 @@ void write_chrome_trace(std::ostream& os, const sim::Tracer& tracer,
        << "\",\"cat\":\"" << json_escape(proc) << "\",\"pid\":" << pids.at(proc)
        << ",\"tid\":" << tids.at(s.lane) << ",\"ts\":" << sim::to_micros(s.begin)
        << ",\"dur\":" << sim::to_micros(s.duration()) << "}";
+  }
+
+  // Causal spans: their own complete events, plus flow events along every
+  // parent/child link so viewers draw causality arrows between lanes. The
+  // flow start ("s") binds to the parent's slice (ts clamped inside it) and
+  // the finish ("f") binds to the child's slice at its begin; the shared id
+  // is the child span id (unique per link).
+  if (spans != nullptr) {
+    std::map<SpanId, const CausalSpan*> by_id;
+    for (const auto& s : spans->spans()) by_id.emplace(s.id, &s);
+    for (const auto& s : spans->spans()) {
+      const std::string lane = causal_lane(s);
+      const auto [proc, thread] = split_lane(lane);
+      write_event_prefix(os, first);
+      os << "{\"ph\":\"X\",\"name\":\"" << json_escape(s.name) << "\",\"cat\":\"causal\",\"pid\":"
+         << pids.at(proc) << ",\"tid\":" << tids.at(lane) << ",\"ts\":" << sim::to_micros(s.begin)
+         << ",\"dur\":" << sim::to_micros(s.duration()) << ",\"args\":{\"trace\":" << s.trace_id
+         << ",\"span\":" << s.id << ",\"parent\":" << s.parent << "}}";
+    }
+    for (const auto& s : spans->spans()) {
+      auto parent = by_id.find(s.parent);
+      if (s.parent == 0 || parent == by_id.end()) continue;
+      const CausalSpan& p = *parent->second;
+      const std::string plane = causal_lane(p);
+      const std::string clane = causal_lane(s);
+      const auto [pproc, pthread] = split_lane(plane);
+      const auto [cproc, cthread] = split_lane(clane);
+      const sim::Time start = std::min(std::max(s.begin, p.begin), p.end);
+      write_event_prefix(os, first);
+      os << "{\"ph\":\"s\",\"name\":\"causal\",\"cat\":\"causal\",\"id\":" << s.id
+         << ",\"pid\":" << pids.at(pproc) << ",\"tid\":" << tids.at(plane)
+         << ",\"ts\":" << sim::to_micros(start) << "}";
+      write_event_prefix(os, first);
+      os << "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"causal\",\"cat\":\"causal\",\"id\":" << s.id
+         << ",\"pid\":" << pids.at(cproc) << ",\"tid\":" << tids.at(clane)
+         << ",\"ts\":" << sim::to_micros(s.begin) << "}";
+    }
   }
 
   // Counter snapshots at the end of the trace.
@@ -117,9 +166,9 @@ void write_chrome_trace(std::ostream& os, const sim::Tracer& tracer,
 }
 
 std::string chrome_trace_json(const sim::Tracer& tracer, const MetricsRegistry* metrics,
-                              sim::Time horizon) {
+                              sim::Time horizon, const SpanStore* spans) {
   std::ostringstream os;
-  write_chrome_trace(os, tracer, metrics, horizon);
+  write_chrome_trace(os, tracer, metrics, horizon, spans);
   return os.str();
 }
 

@@ -16,6 +16,7 @@
 #include "sim/trace.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace gflink::obs {
 
@@ -33,11 +34,16 @@ std::map<std::string, LaneUtilization> lane_utilization(const sim::Tracer& trace
 /// Write the full Chrome-trace JSON object ({"traceEvents": [...], ...}).
 /// Virtual nanoseconds map to trace microseconds. `metrics`, when given,
 /// contributes one counter event per registered counter at the trace end.
+/// `spans`, when given and retaining, contributes the causal spans as
+/// complete events on their own lanes plus flow events (ph "s"/"f") along
+/// every parent/child link, so Perfetto draws causality arrows between
+/// lanes instead of visually disconnected swimlanes.
 void write_chrome_trace(std::ostream& os, const sim::Tracer& tracer,
-                        const MetricsRegistry* metrics = nullptr, sim::Time horizon = 0);
+                        const MetricsRegistry* metrics = nullptr, sim::Time horizon = 0,
+                        const SpanStore* spans = nullptr);
 
 /// Same document as a string (tests, small traces).
 std::string chrome_trace_json(const sim::Tracer& tracer, const MetricsRegistry* metrics = nullptr,
-                              sim::Time horizon = 0);
+                              sim::Time horizon = 0, const SpanStore* spans = nullptr);
 
 }  // namespace gflink::obs

@@ -36,6 +36,14 @@ sim::Histogram& MetricsRegistry::histogram(const std::string& name, double lo, d
   auto it = histograms_.find(id);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::move(id), sim::Histogram(lo, hi, buckets)).first;
+  } else {
+    // Re-registration with a different layout would silently hand back a
+    // histogram whose buckets mean something else — fail loudly instead.
+    // (Histogram::buckets() counts the under/overflow slots, hence + 2.)
+    GFLINK_CHECK_MSG(it->second.lo() == lo && it->second.hi() == hi &&
+                         it->second.buckets() == buckets + 2,
+                     "MetricsRegistry::histogram re-registered with a different "
+                     "lo/hi/buckets layout");
   }
   return it->second;
 }

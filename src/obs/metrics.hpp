@@ -100,8 +100,10 @@ class MetricsRegistry {
   /// (map nodes are stable), so components may cache them.
   Counter& counter(const std::string& name, Labels labels = {});
   Gauge& gauge(const std::string& name, Labels labels = {});
-  /// The bucket layout is fixed by the first registration of an id;
-  /// later calls return the existing histogram regardless of lo/hi/buckets.
+  /// The bucket layout is fixed by the first registration of an id; later
+  /// calls must pass the same lo/hi/buckets — a mismatched re-registration
+  /// is a GFLINK_CHECK failure (a histogram with a surprising layout is
+  /// worse than a crash).
   sim::Histogram& histogram(const std::string& name, double lo, double hi, std::size_t buckets,
                             Labels labels = {});
 

@@ -5,10 +5,20 @@
 
 namespace gflink::obs {
 
+void RunReport::capture_spans(const SpanStore& spans) {
+  const CriticalPath cp = extract_critical_path(spans);
+  critical_path = cp.to_json();
+  export_critical_path_metrics(cp, metrics);
+  const std::vector<Straggler> slow = find_stragglers(spans);
+  stragglers = Json::array();
+  for (const auto& s : slow) stragglers.push_back(s.to_json());
+  export_straggler_metrics(slow, metrics);
+}
+
 Json RunReport::to_json() const {
   Json root = Json::object();
   root["name"] = name;
-  root["schema"] = "gflink.run_report/v1";
+  root["schema"] = "gflink.run_report/v2";
   root["config"] = config;
   root["wall_seconds"] = wall_seconds;
   root["virtual_ns"] = static_cast<std::int64_t>(virtual_ns);
@@ -23,6 +33,8 @@ Json RunReport::to_json() const {
     lanes_json[lane] = std::move(entry);
   }
   root["lane_utilization"] = std::move(lanes_json);
+  if (!critical_path.is_null()) root["critical_path"] = critical_path;
+  if (!stragglers.is_null()) root["stragglers"] = stragglers;
   return root;
 }
 

@@ -14,6 +14,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace gflink::obs {
 
@@ -24,6 +25,8 @@ struct RunReport {
   sim::Time virtual_ns = 0;        // simulated time (summed across cases)
   MetricsRegistry metrics;         // accumulated metric snapshot
   std::map<std::string, LaneUtilization> lanes;  // from the last traced run
+  Json critical_path;              // CriticalPath::to_json(); Null when untraced
+  Json stragglers;                 // array of Straggler::to_json(); Null when untraced
 
   /// Record one configuration entry (string/number/bool via Json ctors).
   void set_config(const std::string& key, Json value) { config[key] = std::move(value); }
@@ -32,6 +35,10 @@ struct RunReport {
   void capture_lanes(const sim::Tracer& tracer, sim::Time horizon = 0) {
     lanes = lane_utilization(tracer, horizon);
   }
+
+  /// Run the DAG analyses over a retaining span store: fills the
+  /// critical_path and stragglers sections and the matching trace_* gauges.
+  void capture_spans(const SpanStore& spans);
 
   Json to_json() const;
 

@@ -79,13 +79,19 @@ std::uint64_t ShuffleService::allocate_session_id() {
 }
 
 sim::Co<bool> ShuffleService::transfer_block(int src, int dst, std::uint64_t bytes,
-                                             const std::string& label) {
+                                             const std::string& label, obs::SpanLink link) {
   obs::MetricsRegistry& m = metrics();
   for (int attempt = 0;; ++attempt) {
     if (consume_injected_fault()) {
       m.inc("shuffle.transfer_faults");
+      // A fault trips the flight recorder: the surrounding spans in the
+      // per-node rings are what a post-mortem needs.
+      cluster_->flight().note_fault(sim_->now(), src, "shuffle_transfer_fault",
+                                    label + " block to node" + std::to_string(dst));
       if (attempt >= config_.max_retries) {
         m.inc("shuffle.transfer_aborts");
+        cluster_->flight().note_event(sim_->now(), src, "shuffle_transfer_abort",
+                                      label + " retry budget exhausted");
         co_return false;
       }
       m.inc("shuffle.transfer_retries");
@@ -94,14 +100,15 @@ sim::Co<bool> ShuffleService::transfer_block(int src, int dst, std::uint64_t byt
       co_await sim_->delay(config_.retry_backoff << shift);
       continue;
     }
-    co_await cluster_->transfer(src, dst, bytes, label);
+    co_await cluster_->transfer(src, dst, bytes, label, link);
     co_return true;
   }
 }
 
 // ---- ShuffleSession --------------------------------------------------------
 
-ShuffleSession::ShuffleSession(ShuffleService& service, int out_partitions, std::string label)
+ShuffleSession::ShuffleSession(ShuffleService& service, int out_partitions, std::string label,
+                               obs::SpanId parent)
     : service_(&service), out_partitions_(out_partitions), label_(std::move(label)),
       id_(service.allocate_session_id()) {
   GFLINK_CHECK(out_partitions_ >= 1);
@@ -111,6 +118,8 @@ ShuffleSession::ShuffleSession(ShuffleService& service, int out_partitions, std:
     credits_.push_back(std::make_unique<sim::Semaphore>(
         service_->sim(), service_->config().credits_per_partition));
   }
+  span_ = service_->cluster().spans().open("shuffle:" + label_, obs::SpanCategory::Shuffle,
+                                           parent, service_->sim().now(), "master/shuffle", 0);
   service_->metrics().inc("shuffle.sessions");
 }
 
@@ -196,6 +205,12 @@ sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucke
       core::MutexLock lock(mu_);
       network_bytes_ += bytes;
     }
+    obs::SpanStore& sp = service_->cluster().spans();
+    // Parented to the session span (not the sending task): pipelined sends
+    // outlive their task, but the session span stays open until finish().
+    const obs::SpanId send_span =
+        sp.open("shuffle:send", obs::SpanCategory::Shuffle, span_, begin,
+                "node" + std::to_string(src) + "/shuffle", src);
     const std::uint64_t block = std::max<std::uint64_t>(1, service_->config().block_bytes);
     sim::Semaphore& credit = *credits_[static_cast<std::size_t>(t)];
     if (service_->config().pipelined) {
@@ -207,14 +222,19 @@ sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucke
         const std::uint64_t n = std::min(block, bytes - off);
         if (!credit.try_acquire()) {
           m.inc("shuffle.credit_stalls");
+          const sim::Time stall = service_->sim().now();
           co_await credit.acquire();
+          if (service_->sim().now() > stall) {
+            sp.record("wait:credit", obs::SpanCategory::Wait, send_span, stall,
+                      service_->sim().now(), "node" + std::to_string(src) + "/shuffle", src);
+          }
         }
         service_->block_started();
         blocks_done.add();
         service_->sim().spawn([](ShuffleSession& s, sim::Semaphore& cr, int from, int to,
-                                 std::uint64_t nbytes, bool& all_ok,
+                                 std::uint64_t nbytes, obs::SpanLink lk, bool& all_ok,
                                  sim::WaitGroup& join) -> sim::Co<void> {
-          const bool sent = co_await s.service_->transfer_block(from, to, nbytes, s.label_);
+          const bool sent = co_await s.service_->transfer_block(from, to, nbytes, s.label_, lk);
           s.service_->block_finished();
           cr.release();
           if (sent) {
@@ -224,7 +244,8 @@ sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucke
             all_ok = false;
           }
           join.done();
-        }(*this, credit, src, dst, n, ok, blocks_done));
+        }(*this, credit, src, dst, n,
+          obs::SpanLink{send_span, obs::SpanCategory::Shuffle}, ok, blocks_done));
       }
       co_await blocks_done.wait();
     } else {
@@ -235,10 +256,16 @@ sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucke
         const std::uint64_t n = std::min(block, remaining);
         if (!credit.try_acquire()) {
           m.inc("shuffle.credit_stalls");
+          const sim::Time stall = service_->sim().now();
           co_await credit.acquire();
+          if (service_->sim().now() > stall) {
+            sp.record("wait:credit", obs::SpanCategory::Wait, send_span, stall,
+                      service_->sim().now(), "node" + std::to_string(src) + "/shuffle", src);
+          }
         }
         service_->block_started();
-        ok = co_await service_->transfer_block(src, dst, n, label_);
+        ok = co_await service_->transfer_block(src, dst, n, label_,
+                                               {send_span, obs::SpanCategory::Shuffle});
         service_->block_finished();
         credit.release();
         if (ok) {
@@ -248,6 +275,7 @@ sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucke
         }
       }
     }
+    sp.close(send_span, service_->sim().now());
     sim::Tracer& tracer = service_->cluster().tracer();
     if (tracer.enabled()) {
       tracer.record("node" + std::to_string(src) + "/shuffle",
@@ -281,7 +309,8 @@ sim::Co<void> ShuffleSession::deposit(int t, int dst, mem::RecordBatch bucket) {
     obs::MetricsRegistry& m = service_->metrics();
     m.inc("shuffle.spill_blocks");
     m.inc("shuffle.spill_bytes", static_cast<double>(bytes));
-    co_await service_->dfs().write(dst, d.spill_path, bytes);
+    co_await service_->dfs().write(dst, d.spill_path, bytes,
+                                   {span_, obs::SpanCategory::Spill});
   } else {
     service_->add_resident(dst, bytes);
     d.counted_resident = true;
@@ -306,10 +335,13 @@ sim::Co<void> ShuffleSession::finish() {
     core::MutexLock lock(mu_);
     aborted = aborted_blocks_;
   }
+  service_->cluster().spans().close(span_, service_->sim().now());
+  span_ = 0;
   GFLINK_CHECK_MSG(aborted == 0, "shuffle block transfer permanently failed after retries");
 }
 
-sim::Co<std::vector<mem::RecordBatch>> ShuffleSession::take(int t, int reader) {
+sim::Co<std::vector<mem::RecordBatch>> ShuffleSession::take(int t, int reader,
+                                                            obs::SpanLink link) {
   auto& deposited = buckets_[static_cast<std::size_t>(t)];
   std::vector<mem::RecordBatch> out;
   out.reserve(deposited.size());
@@ -317,7 +349,7 @@ sim::Co<std::vector<mem::RecordBatch>> ShuffleSession::take(int t, int reader) {
     const std::uint64_t bytes = d.batch.byte_size();
     if (d.spilled) {
       service_->metrics().inc("shuffle.unspill_bytes", static_cast<double>(bytes));
-      co_await service_->dfs().read_file(reader, d.spill_path);
+      co_await service_->dfs().read_file(reader, d.spill_path, link);
     } else if (d.counted_resident) {
       service_->sub_resident(service_->owner_of(t), bytes);
     }

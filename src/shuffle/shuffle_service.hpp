@@ -75,7 +75,11 @@ class ShuffleService;
 /// must outlive their in-flight sends (await finish() before destruction).
 class ShuffleSession {
  public:
-  ShuffleSession(ShuffleService& service, int out_partitions, std::string label);
+  /// `parent` (usually the stage span) parents the session's causal span;
+  /// the session span stays open until finish(), so detached bucket sends
+  /// always have a live ancestor to hang off.
+  ShuffleSession(ShuffleService& service, int out_partitions, std::string label,
+                 obs::SpanId parent = 0);
   ShuffleSession(const ShuffleSession&) = delete;
   ShuffleSession& operator=(const ShuffleSession&) = delete;
   ~ShuffleSession();
@@ -108,7 +112,9 @@ class ShuffleSession {
 
   /// Reduce side: move partition `t`'s deposited buckets out, paying the
   /// DFS read for any that were spilled. `reader` is the merging worker.
-  sim::Co<std::vector<mem::RecordBatch>> take(int t, int reader);
+  /// `link` parents the unspill-read causal spans (usually the merge task
+  /// span, category Spill).
+  sim::Co<std::vector<mem::RecordBatch>> take(int t, int reader, obs::SpanLink link = {});
 
   /// Bytes this session moved across the network (excludes same-worker
   /// buckets). The single source of truth for stage shuffle accounting.
@@ -142,6 +148,7 @@ class ShuffleSession {
   int out_partitions_;
   std::string label_;
   std::uint64_t id_;
+  obs::SpanId span_ = 0;  // the session's causal span; closed by finish()
   // Deposited buckets, credit semaphores and the drain trigger are
   // simulation-plane structures: touched only between suspension points of
   // the simulation thread, never from exporters.
@@ -200,8 +207,10 @@ class ShuffleService {
   friend class ShuffleSession;
 
   /// One block across the network, retrying injected faults with backoff.
-  /// Returns false when the retry budget is exhausted.
-  sim::Co<bool> transfer_block(int src, int dst, std::uint64_t bytes, const std::string& label);
+  /// Returns false when the retry budget is exhausted. `link` parents the
+  /// NIC-pipe causal spans.
+  sim::Co<bool> transfer_block(int src, int dst, std::uint64_t bytes, const std::string& label,
+                               obs::SpanLink link = {});
 
   void block_started() GFLINK_EXCLUDES(mu_);
   void block_finished() GFLINK_EXCLUDES(mu_);

@@ -4,8 +4,14 @@
 // names as the reason for building GFlink on Flink (§1.1).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "dataflow/dataset.hpp"
 #include "dataflow/engine.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
 #include "workloads/kmeans.hpp"
 
 namespace sim = gflink::sim;
@@ -251,6 +257,50 @@ TEST(Fault, DfsReadsRouteAroundDeadReplica) {
   int reader = 1;
   while (reader == primary || reader == secondary) ++reader;
   EXPECT_EQ(e.dfs().preferred_replica(reader, info.blocks[0]), secondary);
+}
+
+TEST(Fault, InjectedShuffleFaultWritesFlightDump) {
+  const std::string path = ::testing::TempDir() + "shuffle_fault_flight.json";
+  std::remove(path.c_str());
+  Engine e(fault_config());
+  e.cluster().flight().set_dump_path(path);
+  e.shuffle_service().inject_transfer_faults(2);
+  auto [sum, t] = run_sum_job(e);
+  EXPECT_EQ(sum, kExpectedSum);  // retries absorb the injected faults
+
+  // The first fault auto-snapshotted the rings mid-run.
+  EXPECT_EQ(e.cluster().flight().dumps(), 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = gflink::obs::Json::parse(buf.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("schema")->as_string(), "gflink.flight_dump/v1");
+
+  // The dump names the injected fault and carries the spans surrounding it
+  // — even though the run is untraced (the rings are always on).
+  bool saw_fault = false;
+  std::size_t ring_spans = 0;
+  for (const auto& n : parsed->find("nodes")->items()) {
+    ring_spans += n.find("spans")->size();
+    for (const auto& ev : n.find("events")->items()) {
+      if (ev.find("kind")->as_string() == "shuffle_transfer_fault") saw_fault = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_GT(ring_spans, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Fault, WorkerFailureLandsInFlightRing) {
+  Engine e(fault_config());
+  e.schedule_worker_failure(2, sim::millis(2));
+  run_sum_job(e);
+  // No dump path was set: nothing is written, but the fault still counts
+  // and task failures are in the event rings for a later dump_now().
+  EXPECT_GE(e.cluster().flight().faults(), 1u);
+  EXPECT_EQ(e.cluster().flight().dumps(), 0u);
 }
 
 // Property sweep: for any single-failure time, the job completes with the

@@ -3,12 +3,19 @@
 // document), lane utilization rollups, and run reports.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "obs/span.hpp"
 #include "sim/trace.hpp"
 
 namespace obs = gflink::obs;
@@ -96,11 +103,21 @@ TEST(Metrics, HistogramRegistrationAndQuantiles) {
   obs::MetricsRegistry m;
   sim::Histogram& h = m.histogram("lat", 0.0, 100.0, 10);
   for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
-  // Second registration returns the same histogram; layout params ignored.
-  sim::Histogram& again = m.histogram("lat", 0.0, 1.0, 1);
+  // Re-registration with the same layout returns the same histogram.
+  sim::Histogram& again = m.histogram("lat", 0.0, 100.0, 10);
   EXPECT_EQ(&h, &again);
   EXPECT_EQ(again.summary().count(), 100u);
   EXPECT_DOUBLE_EQ(again.quantile(0.5), 50.0);
+}
+
+TEST(MetricsDeathTest, HistogramLayoutMismatchAborts) {
+  // A layout change on re-registration would silently reinterpret every
+  // recorded sample — it must abort instead of handing back the old series.
+  obs::MetricsRegistry m;
+  m.histogram("lat", 0.0, 100.0, 10);
+  EXPECT_DEATH(m.histogram("lat", 0.0, 1.0, 1), "different");
+  EXPECT_DEATH(m.histogram("lat", 0.0, 100.0, 20), "different");
+  EXPECT_DEATH(m.histogram("lat", 5.0, 100.0, 10), "different");
 }
 
 TEST(Metrics, MergeFrom) {
@@ -234,7 +251,7 @@ TEST(RunReport, ToJsonCarriesHeadlineKeys) {
   EXPECT_DOUBLE_EQ(rep.metrics.gauge_value("locality_hit_ratio"), 0.25);
 
   Json j = rep.to_json();
-  EXPECT_EQ(j.find("schema")->as_string(), "gflink.run_report/v1");
+  EXPECT_EQ(j.find("schema")->as_string(), "gflink.run_report/v2");
   EXPECT_EQ(j.find("name")->as_string(), "unit");
   EXPECT_EQ(j.find("config")->find("workers")->as_int(), 4);
   EXPECT_DOUBLE_EQ(j.find("virtual_seconds")->as_double(), 2.0);
@@ -254,6 +271,233 @@ TEST(RunReport, ToJsonCarriesHeadlineKeys) {
   auto parsed = Json::parse(j.dump(2));
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->find("name")->as_string(), "unit");
+}
+
+// ---- Causal spans ----------------------------------------------------------
+
+namespace {
+
+// Golden span DAG used by the critical-path and flow-event tests:
+//
+//   job (Control)            [0 ....................................... 1000]
+//     stage:map (Control)        [100 ............ 600]
+//       task:map (Kernel)            [200 .. 500]
+//     stage:reduce (Shuffle)                      [600 ......... 900]
+//       wait:credit (Wait)                             [700 800]
+//
+// Last-finisher attribution: control 400 (job [0,100]+[900,1000],
+// stage:map [100,200]+[500,600]), kernel 300, shuffle 200 ([600,700] +
+// [800,900]), wait 100 — summing to the 1000 ns makespan exactly.
+obs::SpanId build_golden_dag(obs::SpanStore& s) {
+  s.set_retain(true);
+  const obs::SpanId job =
+      s.open("job", obs::SpanCategory::Control, 0, 0, "master/job", 0, /*trace_id=*/7);
+  const obs::SpanId map = s.open("stage:map", obs::SpanCategory::Control, job, 100);
+  s.record("task:map", obs::SpanCategory::Kernel, map, 200, 500, "node1/gpu0", 1);
+  s.close(map, 600);
+  const obs::SpanId reduce = s.open("stage:reduce", obs::SpanCategory::Shuffle, job, 600);
+  s.record("wait:credit", obs::SpanCategory::Wait, reduce, 700, 800, "node2/shuffle", 2);
+  s.close(reduce, 900);
+  s.close(job, 1000);
+  return job;
+}
+
+sim::Duration category_ns(const obs::CriticalPath& cp, obs::SpanCategory c) {
+  return cp.by_category[static_cast<std::size_t>(c)];
+}
+
+}  // namespace
+
+TEST(Spans, TraceIdInheritsAndAggregatesCount) {
+  obs::SpanStore s;
+  build_golden_dag(s);
+  ASSERT_EQ(s.spans().size(), 5u);
+  for (const auto& span : s.spans()) {
+    EXPECT_EQ(span.trace_id, 7u) << span.name;
+  }
+  EXPECT_EQ(s.recorded(), 5u);
+
+  obs::MetricsRegistry m;
+  s.export_metrics(m);
+  EXPECT_DOUBLE_EQ(m.counter_value("trace_spans_total"), 5.0);
+  EXPECT_DOUBLE_EQ((m.counter_value("trace_span_ns_total", {{"category", "kernel"}})), 300.0);
+  EXPECT_DOUBLE_EQ((m.counter_value("trace_span_ns_total", {{"category", "wait"}})), 100.0);
+}
+
+TEST(Spans, GoldenDagCriticalPathBreakdown) {
+  obs::SpanStore s;
+  build_golden_dag(s);
+  const obs::CriticalPath cp = obs::extract_critical_path(s);
+
+  EXPECT_EQ(cp.total, 1000);
+  EXPECT_EQ(category_ns(cp, obs::SpanCategory::Control), 400);
+  EXPECT_EQ(category_ns(cp, obs::SpanCategory::Kernel), 300);
+  EXPECT_EQ(category_ns(cp, obs::SpanCategory::Shuffle), 200);
+  EXPECT_EQ(category_ns(cp, obs::SpanCategory::Wait), 100);
+  EXPECT_EQ(category_ns(cp, obs::SpanCategory::H2D), 0);
+
+  // Every instant of the makespan lands in exactly one category.
+  sim::Duration sum = 0;
+  for (auto d : cp.by_category) sum += d;
+  EXPECT_EQ(sum, cp.total);
+
+  // Chronological segments walk the known longest path through the DAG.
+  ASSERT_EQ(cp.segments.size(), 8u);
+  const char* expected[] = {"job",          "stage:map",   "task:map",    "stage:map",
+                            "stage:reduce", "wait:credit", "stage:reduce", "job"};
+  sim::Time cursor = 0;
+  for (std::size_t i = 0; i < cp.segments.size(); ++i) {
+    EXPECT_EQ(cp.segments[i].name, expected[i]) << "segment " << i;
+    EXPECT_EQ(cp.segments[i].begin, cursor) << "segment " << i;  // gap-free
+    cursor = cp.segments[i].end;
+  }
+  EXPECT_EQ(cursor, 1000);
+}
+
+TEST(Spans, CriticalPathGaugesExport) {
+  obs::SpanStore s;
+  build_golden_dag(s);
+  obs::MetricsRegistry m;
+  obs::export_critical_path_metrics(obs::extract_critical_path(s), m);
+  EXPECT_DOUBLE_EQ(m.gauge_value("trace_critical_path_seconds"), 1000e-9);
+  EXPECT_DOUBLE_EQ((m.gauge_value("trace_critical_path_seconds", {{"category", "kernel"}})),
+                   300e-9);
+}
+
+TEST(Spans, StragglerFlagsKnownOutlierAndNamesWaitedResource) {
+  obs::SpanStore s;
+  s.set_retain(true);
+  // Peer group "task:rank" of ten members: nine take 100 ns, one takes
+  // 1000 ns. Nearest-rank p95 over the sorted durations is 100 ns, so only
+  // the outlier is strictly slower.
+  for (int i = 0; i < 9; ++i) {
+    s.record("task:rank", obs::SpanCategory::Control, 0, 0, 100, "node1/tasks", 1);
+  }
+  const obs::SpanId slow =
+      s.open("task:rank", obs::SpanCategory::Control, 0, 0, "node3/tasks", 3);
+  s.record("wait:slot", obs::SpanCategory::Wait, slow, 0, 700, "node3/slots", 3);
+  s.record("wait:credit", obs::SpanCategory::Wait, slow, 700, 900, "node3/shuffle", 3);
+  s.close(slow, 1000);
+  // A group too small to have meaningful percentiles is never flagged.
+  s.record("task:tiny", obs::SpanCategory::Control, 0, 0, 5000);
+  s.record("task:tiny", obs::SpanCategory::Control, 0, 0, 1);
+
+  const std::vector<obs::Straggler> out = obs::find_stragglers(s);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].span, slow);
+  EXPECT_EQ(out[0].name, "task:rank");
+  EXPECT_EQ(out[0].lane, "node3/tasks");
+  EXPECT_EQ(out[0].duration, 1000);
+  EXPECT_EQ(out[0].p95, 100);
+  // Attribution names the longest Wait descendant and its lane.
+  EXPECT_EQ(out[0].waited_on, "wait:slot on node3/slots");
+
+  obs::MetricsRegistry m;
+  obs::export_straggler_metrics(out, m);
+  EXPECT_DOUBLE_EQ(m.gauge_value("trace_stragglers_total"), 1.0);
+}
+
+TEST(Spans, UntracedStoreStaysEmptyButCounts) {
+  obs::SpanStore s;  // retain off: the default for untraced runs
+  const obs::SpanId id = s.open("task:x", obs::SpanCategory::Control, 0, 0);
+  s.close(id, 10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.recorded(), 1u);
+  EXPECT_EQ(obs::extract_critical_path(s).total, 0);
+  // Id 0 is the "no span" sentinel everywhere.
+  s.annotate(0, "k", "v");
+  s.close(0, 99);
+}
+
+TEST(ChromeTrace, FlowEventsFollowSpanLinks) {
+  sim::Tracer t(true);
+  t.record("node1/cpu", "work", 0, 1000);
+  obs::SpanStore s;
+  build_golden_dag(s);
+
+  const std::string doc = obs::chrome_trace_json(t, nullptr, 1000, &s);
+  auto parsed = Json::parse(doc);
+  ASSERT_TRUE(parsed.has_value()) << doc;
+
+  // Four parent/child links -> four "s"/"f" pairs, ids matching pairwise.
+  std::map<std::int64_t, int> starts, finishes;
+  int causal_slices = 0;
+  for (const Json& e : parsed->find("traceEvents")->items()) {
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "s") ++starts[e.find("id")->as_int()];
+    if (ph == "f") {
+      ++finishes[e.find("id")->as_int()];
+      EXPECT_EQ(e.find("bp")->as_string(), "e");
+    }
+    if (ph == "X" && e.find("cat")->as_string() == "causal") ++causal_slices;
+  }
+  EXPECT_EQ(causal_slices, 5);
+  EXPECT_EQ(starts.size(), 4u);
+  EXPECT_EQ(finishes.size(), 4u);
+  for (const auto& [id, n] : starts) {
+    EXPECT_EQ(n, 1) << "flow id " << id;
+    EXPECT_EQ(finishes[id], 1) << "flow id " << id;
+  }
+}
+
+// ---- Flight recorder -------------------------------------------------------
+
+TEST(FlightRecorder, RingsAreBoundedAndDumpRoundTrips) {
+  obs::FlightRecorder fr(/*ring_capacity=*/4);
+  obs::SpanStore s;
+  s.attach_flight_recorder(&fr);
+  // Ten closed spans on one node: the ring keeps only the last four even
+  // though the store itself retains nothing (untraced run).
+  for (int i = 0; i < 10; ++i) {
+    s.record("task:t", obs::SpanCategory::Control, 0, i * 10, i * 10 + 5, "node1/tasks", 1);
+  }
+  fr.note_event(100, 1, "cache_evict", "gpu0 4096 bytes");
+  fr.note_fault(110, 2, "shuffle_transfer_fault", "block to node3");
+  EXPECT_EQ(fr.faults(), 1u);
+
+  const std::string path = ::testing::TempDir() + "flight_dump_test.json";
+  ASSERT_TRUE(fr.dump_now(path));
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = Json::parse(buf.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("schema")->as_string(), "gflink.flight_dump/v1");
+  const Json* nodes = parsed->find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  bool saw_node1 = false, saw_fault = false;
+  for (const Json& n : nodes->items()) {
+    if (n.find("node")->as_int() == 1) {
+      saw_node1 = true;
+      ASSERT_EQ(n.find("spans")->size(), 4u);  // bounded ring, oldest dropped
+      // Oldest-first: the retained spans are the last four recorded.
+      EXPECT_EQ(n.find("spans")->items()[0].find("begin_ns")->as_int(), 60);
+      EXPECT_EQ(n.find("events")->items()[0].find("kind")->as_string(), "cache_evict");
+    }
+    for (const Json& ev : n.find("events")->items()) {
+      if (ev.find("kind")->as_string() == "shuffle_transfer_fault") saw_fault = true;
+    }
+  }
+  EXPECT_TRUE(saw_node1);
+  EXPECT_TRUE(saw_fault);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, FirstFaultAutoDumps) {
+  obs::FlightRecorder fr;
+  const std::string path = ::testing::TempDir() + "flight_auto_dump.json";
+  fr.set_dump_path(path);
+  fr.note_event(1, 0, "benign", "not a fault");
+  EXPECT_EQ(fr.dumps(), 0u);
+  fr.note_fault(2, 1, "worker_failure", "worker 1 died");
+  EXPECT_EQ(fr.dumps(), 1u);
+  fr.note_fault(3, 2, "worker_failure", "worker 2 died");
+  EXPECT_EQ(fr.dumps(), 1u);  // only the first fault snapshots
+  EXPECT_EQ(fr.faults(), 2u);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
 }
 
 TEST(RunReport, DerivedMetricsHandleEmptyRegistry) {

@@ -42,8 +42,10 @@ struct Options {
   int iterations = 0;
   bool cache = true;
   bool help = false;
-  std::string trace_out;   // Chrome/Perfetto trace JSON destination
-  std::string report_out;  // run-report JSON destination
+  std::string trace_out;    // Chrome/Perfetto trace JSON destination
+  std::string report_out;   // run-report JSON destination
+  std::string flight_dump;  // flight-recorder dump destination
+  bool critical_path = false;  // print the per-category breakdown
 };
 
 // Observability accumulation across the tool's runs (both modes feed one
@@ -70,7 +72,11 @@ void print_usage() {
       "  --scheduling P           locality | roundrobin | random\n"
       "  --no-cache               disable the GPU cache scheme (spmv)\n"
       "  --trace-out FILE         write a Chrome/Perfetto trace JSON of the run\n"
-      "  --report-out FILE        write a machine-readable run report JSON\n");
+      "  --report-out FILE        write a machine-readable run report JSON\n"
+      "  --flight-dump FILE       write the flight-recorder rings to FILE (on the\n"
+      "                           first injected fault, else at exit)\n"
+      "  --critical-path          print the critical-path category breakdown\n"
+      "                           (implies span tracing)\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -150,6 +156,12 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (!v) return false;
       opt.report_out = v;
+    } else if (arg == "--flight-dump") {
+      const char* v = value();
+      if (!v) return false;
+      opt.flight_dump = v;
+    } else if (arg == "--critical-path") {
+      opt.critical_path = true;
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
@@ -166,6 +178,9 @@ wl::RunResult run_driver(sim::Co<ResultT> (*driver)(df::Engine&, core::GFlinkRun
                                                     const ConfigT&),
                          const Options& opt, wl::Mode mode, const ConfigT& cfg) {
   df::Engine engine(wl::make_engine_config(opt.testbed));
+  if (!opt.flight_dump.empty()) {
+    engine.cluster().flight().set_dump_path(opt.flight_dump);
+  }
   std::unique_ptr<core::GFlinkRuntime> runtime;
   if (mode == wl::Mode::Gpu) {
     wl::ensure_kernels_registered();
@@ -179,10 +194,39 @@ wl::RunResult run_driver(sim::Co<ResultT> (*driver)(df::Engine&, core::GFlinkRun
   g_report.virtual_ns += engine.now();
   engine.export_metrics(g_report.metrics);
   if (runtime) runtime->export_metrics(g_report.metrics);
+  const obs::SpanStore& spans = engine.cluster().spans();
   if (!opt.trace_out.empty()) {
     const sim::Tracer& tracer = engine.cluster().tracer();
-    g_trace_json = obs::chrome_trace_json(tracer, &engine.cluster().metrics(), engine.now());
+    g_trace_json = obs::chrome_trace_json(tracer, &engine.cluster().metrics(), engine.now(),
+                                          &spans);
     g_report.capture_lanes(tracer, engine.now());
+  }
+  if (spans.retain()) {
+    // Both modes run the analyses; the report keeps the last (GFlink) pass.
+    g_report.capture_spans(spans);
+    if (opt.critical_path) {
+      const obs::CriticalPath cp = obs::extract_critical_path(spans);
+      std::printf("\n[%s] critical path: %.2f s full-scale\n", wl::mode_name(mode),
+                  wl::RunResult::full_seconds(cp.total, opt.testbed.scale));
+      for (std::size_t c = 0; c < obs::kSpanCategories; ++c) {
+        if (cp.by_category[c] == 0) continue;
+        std::printf("  %-8s %10.2f s  %5.1f%%\n",
+                    obs::span_category_name(static_cast<obs::SpanCategory>(c)),
+                    wl::RunResult::full_seconds(cp.by_category[c], opt.testbed.scale),
+                    cp.total > 0 ? 100.0 * static_cast<double>(cp.by_category[c]) /
+                                       static_cast<double>(cp.total)
+                                 : 0.0);
+      }
+    }
+  }
+  // A fault already snapshotted the rings; otherwise dump the final state
+  // so the artifact exists for healthy runs too.
+  obs::FlightRecorder& flight = engine.cluster().flight();
+  if (!opt.flight_dump.empty() && flight.dumps() == 0) {
+    if (!flight.dump_now(opt.flight_dump)) {
+      std::fprintf(stderr, "error: could not write flight dump to %s\n",
+                   opt.flight_dump.c_str());
+    }
   }
   return result.run;
 }
@@ -296,6 +340,9 @@ int run_workload(const Options& opt) {
     }
     std::printf("run report written: %s\n", opt.report_out.c_str());
   }
+  if (!opt.flight_dump.empty()) {
+    std::printf("flight dump written: %s\n", opt.flight_dump.c_str());
+  }
   return 0;
 }
 
@@ -312,8 +359,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   // Tracing costs memory proportional to the span count; enable it only
-  // when a trace was requested.
-  if (!opt.trace_out.empty()) opt.testbed.trace = true;
+  // when a trace or the critical-path analysis was requested (reports get
+  // the DAG sections whenever a traced run produced them).
+  if (!opt.trace_out.empty() || opt.critical_path) opt.testbed.trace = true;
   std::printf("gflink_sim: %s on %d workers x %d %s, scale %.0e", opt.workload.c_str(),
               opt.testbed.workers, opt.testbed.gpus_per_worker, opt.testbed.gpu_spec.name.c_str(),
               opt.testbed.scale);

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Regenerate (or check) the EXPERIMENTS.md critical-path breakdown table.
+
+Reads BENCH_critical_path.json (a gflink.run_report/v2 written by
+bench/bench_critical_path, with tracing on), takes the `critical_path`
+section — the last-finisher attribution of the PageRank makespan to span
+categories — and renders the markdown table between the
+`<!-- critical-path:begin -->` / `<!-- critical-path:end -->` markers in
+EXPERIMENTS.md. Default mode rewrites the file in place; with --check it
+fails if the committed numbers drift from the fresh run by more than
+--tolerance (relative).
+
+Independently of the mode it enforces the attribution invariant: the
+per-category breakdown_ns must sum to total_ns exactly (every instant of
+the makespan lands in exactly one category).
+
+Usage:
+  tools/trace_critical_path.py --report BENCH_critical_path.json [--check]
+      [--experiments EXPERIMENTS.md] [--tolerance 0.05]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Report order of src/obs/span.hpp's SpanCategory taxonomy.
+CATEGORIES = ["control", "h2d", "kernel", "d2h", "shuffle", "spill", "wait"]
+BEGIN = "<!-- critical-path:begin -->"
+END = "<!-- critical-path:end -->"
+
+
+def load_breakdown(report_path):
+    """Return (per-category full-scale seconds, total full-scale seconds)."""
+    with open(report_path) as f:
+        report = json.load(f)
+    cp = report.get("critical_path")
+    if not cp:
+        sys.exit(f"error: {report_path} has no critical_path section — "
+                 "was the bench run without tracing?")
+    total_ns = int(cp.get("total_ns", 0))
+    breakdown = {k: int(v) for k, v in cp.get("breakdown_ns", {}).items()}
+    if total_ns <= 0:
+        sys.exit(f"error: {report_path} critical_path.total_ns is {total_ns}")
+    if sum(breakdown.values()) != total_ns:
+        sys.exit("error: critical-path breakdown does not sum to the makespan "
+                 f"({sum(breakdown.values())} ns vs total {total_ns} ns) — "
+                 "the attribution invariant is broken")
+    unknown = sorted(set(breakdown) - set(CATEGORIES))
+    if unknown:
+        sys.exit(f"error: unknown span categories in {report_path}: {unknown}")
+    scale = float(report.get("config", {}).get("scale", 1.0))
+    if scale <= 0:
+        sys.exit(f"error: {report_path} config.scale is {scale}")
+    seconds = {c: breakdown.get(c, 0) * 1e-9 / scale for c in CATEGORIES}
+    return seconds, total_ns * 1e-9 / scale
+
+
+def render_table(seconds, total):
+    lines = [
+        "| Category | Critical-path time (full-scale s) | Share |",
+        "|---|---|---|",
+    ]
+    for cat in CATEGORIES:
+        share = seconds[cat] / total if total > 0 else 0.0
+        lines.append(f"| {cat} | {seconds[cat]:.2f} | {share:.1%} |")
+    lines.append(f"| total | {total:.2f} | 100.0% |")
+    return "\n".join(lines)
+
+
+def parse_committed(block):
+    committed = {}
+    for match in re.finditer(r"^\| (\S[^|]*?) \| ([0-9.]+) \|", block, re.M):
+        committed[match.group(1).strip()] = float(match.group(2))
+    return committed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", default="BENCH_critical_path.json")
+    ap.add_argument("--experiments", default="EXPERIMENTS.md")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative drift per category in --check")
+    ap.add_argument("--check", action="store_true",
+                    help="fail on drift instead of rewriting the table")
+    args = ap.parse_args()
+
+    seconds, total = load_breakdown(args.report)
+
+    with open(args.experiments) as f:
+        text = f.read()
+    pattern = re.compile(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.S)
+    found = pattern.search(text)
+    if not found:
+        sys.exit(f"error: {args.experiments} lacks the {BEGIN} ... {END} markers")
+
+    if args.check:
+        committed = parse_committed(found.group(1))
+        failures = []
+        for cat, fresh in list(seconds.items()) + [("total", total)]:
+            if cat not in committed:
+                failures.append(f"category '{cat}' missing from committed table")
+                continue
+            # The table renders 2 decimals, so compare against the fresh
+            # value rounded the same way; the absolute floor keeps
+            # near-zero categories (spill, the GPU stages) from dividing
+            # by ~0.
+            drift = abs(committed[cat] - round(fresh, 2)) / max(fresh, 0.05)
+            if drift > args.tolerance:
+                failures.append(
+                    f"{cat}: committed {committed[cat]:.2f} s vs measured "
+                    f"{fresh:.2f} s (drift {drift:.1%} > {args.tolerance:.0%})")
+        if failures:
+            sys.exit("EXPERIMENTS.md critical-path table drifted:\n  "
+                     + "\n  ".join(failures)
+                     + "\nRegenerate with tools/trace_critical_path.py")
+        print("critical-path table matches the fresh run")
+        return
+
+    replacement = f"{BEGIN}\n{render_table(seconds, total)}\n{END}"
+    with open(args.experiments, "w") as f:
+        f.write(pattern.sub(lambda _: replacement, text))
+    print(f"updated {args.experiments}")
+
+
+if __name__ == "__main__":
+    main()
