@@ -72,6 +72,7 @@ sim::Co<void> gpu_map_partition_run(dataflow::TaskContext& ctx, const GpuOpSpec&
     work->size = n;
     work->block_size = spec.block_size;
     work->job_id = ctx.job().id();
+    work->tenant = ctx.job().tenant();
     work->span = ctx.span();
     work->params = params;
     work->chunkable = spec.chunkable;

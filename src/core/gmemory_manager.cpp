@@ -76,25 +76,41 @@ std::optional<GMemoryManager::CacheEntry> GMemoryManager::insert(int device, std
     }
     if (r.used - reclaimable + bytes > region_capacity_) return std::nullopt;
     for (std::uint64_t victim : victims) {
-      auto it = r.table.find(victim);
-      note_flight("cache_evict", device, it->second.entry.bytes);
-      dev.memory().free(it->second.entry.ptr);
-      r.used -= it->second.entry.bytes;
-      r.table.erase(it);
-      std::erase(r.fifo, victim);
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evict_slot_locked(device, r, victim);
     }
   }
 
-  const gpu::DevicePtr ptr = dev.memory().allocate(bytes);
-  if (ptr == 0) return std::nullopt;  // device OOM outside the region model
+  // Tenant quota: keep the inserting tenant at or under its per-device
+  // quota by first shrinking that tenant's own cache (globally-oldest
+  // unpinned entry across its jobs). Declines when the tenant's pinned
+  // working set already fills the quota.
+  const std::string tenant = tenant_of_locked(job);
+  if (auto q = tenant_quota_.find(tenant); q != tenant_quota_.end() && q->second > 0) {
+    if (bytes > q->second) return std::nullopt;  // can never fit in quota
+    while (tenant_used_locked(device, tenant) + bytes > q->second) {
+      if (!evict_tenant_oldest_locked(device, tenant)) return std::nullopt;
+    }
+  }
+
+  gpu::DevicePtr ptr = dev.memory().allocate(bytes);
+  while (ptr == 0) {
+    // Device OOM outside the region model: prefer over-quota tenants'
+    // entries, then the requester's own tenant; an under-quota peer is
+    // never the victim while either of those can give space back.
+    if (!evict_over_quota_locked(device) && !evict_tenant_oldest_locked(device, tenant)) {
+      return std::nullopt;
+    }
+    ptr = dev.memory().allocate(bytes);
+  }
   Slot slot;
   slot.entry = CacheEntry{ptr, bytes};
   slot.pins = 1;  // returned pinned for the inserting GWork
+  slot.seq = next_seq_++;
   pins_.fetch_add(1, std::memory_order_relaxed);
   r.table.emplace(key, slot);
   r.fifo.push_back(key);
   r.used += bytes;
+  tenant_inserted_[tenant] += bytes;
   return slot.entry;
 }
 
@@ -132,30 +148,99 @@ bool GMemoryManager::evict_for_space(int device, std::uint64_t job, std::uint64_
 bool GMemoryManager::evict_for_space_locked(int device, std::uint64_t job, std::uint64_t bytes) {
   // Contiguity-aware: free_bytes() can exceed `bytes` while no single hole
   // fits (the fragmented-heap case); keep evicting until a hole does.
+  // Victim order: the requesting job's own FIFO-oldest unpinned entries
+  // first (single-job behavior, and what the staging ring leans on), then
+  // over-quota tenants. Under-quota peers are never touched.
   gpu::GpuDevice& dev = *devices_.at(static_cast<std::size_t>(device));
   Region* r = find_region(device, job);
-  if (r == nullptr) return dev.memory().can_allocate(bytes);
   while (!dev.memory().can_allocate(bytes)) {
-    // Find the oldest unpinned entry.
-    auto victim = r->fifo.end();
-    for (auto it = r->fifo.begin(); it != r->fifo.end(); ++it) {
-      auto slot = r->table.find(*it);
-      GFLINK_CHECK(slot != r->table.end());
-      if (slot->second.pins == 0) {
-        victim = it;
-        break;
+    bool evicted = false;
+    if (r != nullptr) {
+      for (auto it = r->fifo.begin(); it != r->fifo.end(); ++it) {
+        auto slot = r->table.find(*it);
+        GFLINK_CHECK(slot != r->table.end());
+        if (slot->second.pins == 0) {
+          evict_slot_locked(device, *r, *it);
+          evicted = true;
+          break;
+        }
       }
     }
-    if (victim == r->fifo.end()) break;  // everything pinned
-    auto slot = r->table.find(*victim);
-    note_flight("cache_evict", device, slot->second.entry.bytes);
-    dev.memory().free(slot->second.entry.ptr);
-    r->used -= slot->second.entry.bytes;
-    r->table.erase(slot);
-    r->fifo.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (!evicted && !evict_over_quota_locked(device)) break;  // nothing evictable
   }
   return dev.memory().can_allocate(bytes);
+}
+
+void GMemoryManager::evict_slot_locked(int device, Region& r, std::uint64_t key) {
+  auto it = r.table.find(key);
+  GFLINK_CHECK(it != r.table.end());
+  GFLINK_CHECK_MSG(it->second.pins == 0, "evicting a pinned cache entry");
+  note_flight("cache_evict", device, it->second.entry.bytes);
+  devices_.at(static_cast<std::size_t>(device))->memory().free(it->second.entry.ptr);
+  r.used -= it->second.entry.bytes;
+  r.table.erase(it);
+  std::erase(r.fifo, key);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string GMemoryManager::tenant_of_locked(std::uint64_t job) const {
+  auto it = job_tenant_.find(job);
+  return it == job_tenant_.end() ? std::string() : it->second;
+}
+
+std::uint64_t GMemoryManager::tenant_used_locked(int device, const std::string& tenant) const {
+  std::uint64_t used = 0;
+  for (const auto& [job, region] : regions_.at(static_cast<std::size_t>(device))) {
+    if (tenant_of_locked(job) == tenant) used += region.used;
+  }
+  return used;
+}
+
+bool GMemoryManager::evict_tenant_oldest_locked(int device, const std::string& tenant) {
+  auto& jobs = regions_.at(static_cast<std::size_t>(device));
+  Region* victim_region = nullptr;
+  std::uint64_t victim_key = 0;
+  std::uint64_t victim_seq = ~0ULL;
+  for (auto& [job, region] : jobs) {
+    if (tenant_of_locked(job) != tenant) continue;
+    for (const auto& [key, slot] : region.table) {
+      if (slot.pins > 0) continue;
+      if (slot.seq < victim_seq) {
+        victim_seq = slot.seq;
+        victim_region = &region;
+        victim_key = key;
+      }
+    }
+  }
+  if (victim_region == nullptr) return false;
+  evict_slot_locked(device, *victim_region, victim_key);
+  return true;
+}
+
+bool GMemoryManager::evict_over_quota_locked(int device) {
+  // Victim tenant: the one furthest over its quota that still has an
+  // unpinned entry on this device. Tenants without a quota (including the
+  // default "") are never cross-tenant victims.
+  std::string victim;
+  bool found = false;
+  std::uint64_t best_overage = 0;
+  for (const auto& [tenant, quota] : tenant_quota_) {
+    if (quota == 0) continue;
+    const std::uint64_t used = tenant_used_locked(device, tenant);
+    if (used <= quota) continue;
+    const std::uint64_t overage = used - quota;
+    if ((!found || overage > best_overage) && has_unpinned_locked(device, tenant)) {
+      found = true;
+      best_overage = overage;
+      victim = tenant;
+    }
+  }
+  if (!found) return false;
+  const bool evicted = evict_tenant_oldest_locked(device, victim);
+  GFLINK_CHECK(evicted);
+  cross_tenant_evictions_.fetch_add(1, std::memory_order_relaxed);
+  note_flight("cross_tenant_evict", device, 0);
+  return true;
 }
 
 gpu::DevicePtr GMemoryManager::reserve_staging(int device, std::uint64_t job,
@@ -193,6 +278,42 @@ void GMemoryManager::release_job(std::uint64_t job) {
     }
     regions_[d].erase(it);
   }
+  job_tenant_.erase(job);
+}
+
+bool GMemoryManager::has_unpinned_locked(int device, const std::string& tenant) const {
+  for (const auto& [job, region] : regions_.at(static_cast<std::size_t>(device))) {
+    if (tenant_of_locked(job) != tenant) continue;
+    for (const auto& [key, slot] : region.table) {
+      if (slot.pins == 0) return true;
+    }
+  }
+  return false;
+}
+
+void GMemoryManager::set_job_tenant(std::uint64_t job, const std::string& tenant) {
+  core::MutexLock lock(mu_);
+  job_tenant_[job] = tenant;
+}
+
+void GMemoryManager::set_tenant_quota(const std::string& tenant, std::uint64_t bytes) {
+  core::MutexLock lock(mu_);
+  if (bytes == 0) {
+    tenant_quota_.erase(tenant);
+  } else {
+    tenant_quota_[tenant] = bytes;
+  }
+}
+
+std::uint64_t GMemoryManager::tenant_cached_bytes(int device, const std::string& tenant) const {
+  core::MutexLock lock(mu_);
+  return tenant_used_locked(device, tenant);
+}
+
+std::uint64_t GMemoryManager::tenant_inserted_bytes(const std::string& tenant) const {
+  core::MutexLock lock(mu_);
+  auto it = tenant_inserted_.find(tenant);
+  return it == tenant_inserted_.end() ? 0 : it->second;
 }
 
 std::uint64_t GMemoryManager::cached_input_bytes(int device, const GWork& work) const {

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <deque>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -89,8 +90,43 @@ class GMemoryManager {
   /// the device memory.
   bool evict_for_space(int device, std::uint64_t job, std::uint64_t bytes);
 
-  /// Release a job's region on every device (job end / GFlink stop).
+  /// Release a job's region on every device (job end / GFlink stop). Also
+  /// forgets the job's tenant mapping.
   void release_job(std::uint64_t job);
+
+  // ---- Multi-tenant quota accounting (JobService) --------------------------
+  //
+  // Jobs are mapped to tenants; a tenant may carry a per-device byte quota
+  // over the *sum* of its jobs' cache regions. Quotas change two things:
+  //  * insert() keeps the inserting tenant at or under its quota by first
+  //    evicting that tenant's own globally-oldest unpinned entries;
+  //  * under device pressure (failed allocation, staging reservation), the
+  //    eviction order prefers *over-quota* tenants — an under-quota tenant's
+  //    entry is never evicted cross-tenant while an over-quota victim with
+  //    an unpinned entry exists (self-eviction by the requester is always
+  //    allowed).
+  // Unmapped jobs belong to the default tenant "" which has no quota; with
+  // no tenants configured every path below reduces to the single-job
+  // behavior.
+
+  /// Tag `job` as belonging to `tenant` (idempotent; call before caching).
+  void set_job_tenant(std::uint64_t job, const std::string& tenant);
+
+  /// Set `tenant`'s per-device cache quota in bytes (0 removes the quota).
+  void set_tenant_quota(const std::string& tenant, std::uint64_t bytes);
+
+  /// Bytes of cache currently held by `tenant` on `device` across its jobs.
+  std::uint64_t tenant_cached_bytes(int device, const std::string& tenant) const;
+
+  /// Cumulative bytes `tenant` has inserted into this manager's caches —
+  /// the achieved-cache-share numerator for fairness reporting (current
+  /// occupancy is ~0 once jobs release their regions).
+  std::uint64_t tenant_inserted_bytes(const std::string& tenant) const;
+
+  /// Entries evicted from one tenant to relieve another's device pressure.
+  std::uint64_t cross_tenant_evictions() const {
+    return cross_tenant_evictions_.load(std::memory_order_relaxed);
+  }
 
   /// Reserve a device staging ring for the chunked transfer/compute
   /// pipeline: a transient allocation that coexists with the cache regions
@@ -142,6 +178,9 @@ class GMemoryManager {
   struct Slot {
     CacheEntry entry;
     int pins = 0;  // in-flight GWork references; pinned slots never evict
+    /// Global insertion sequence: the cross-job/cross-tenant FIFO order
+    /// (a per-region FIFO cannot order victims across regions).
+    std::uint64_t seq = 0;
   };
   struct Region {
     std::uint64_t used = 0;
@@ -158,6 +197,19 @@ class GMemoryManager {
       GFLINK_REQUIRES(mu_);
   std::uint64_t cached_input_bytes_locked(int device, const GWork& work) const
       GFLINK_REQUIRES(mu_);
+  std::string tenant_of_locked(std::uint64_t job) const GFLINK_REQUIRES(mu_);
+  std::uint64_t tenant_used_locked(int device, const std::string& tenant) const
+      GFLINK_REQUIRES(mu_);
+  /// Evict `tenant`'s globally-oldest unpinned entry on `device` (any of
+  /// its jobs). False when the tenant has nothing evictable there.
+  bool evict_tenant_oldest_locked(int device, const std::string& tenant) GFLINK_REQUIRES(mu_);
+  bool has_unpinned_locked(int device, const std::string& tenant) const GFLINK_REQUIRES(mu_);
+  /// Cross-tenant relief: evict the oldest unpinned entry of the *most
+  /// over-quota* tenant on `device`. False when no over-quota tenant has an
+  /// evictable entry — callers must then fall back to self-eviction or give
+  /// up, never take an under-quota tenant's entry.
+  bool evict_over_quota_locked(int device) GFLINK_REQUIRES(mu_);
+  void evict_slot_locked(int device, Region& r, std::uint64_t key) GFLINK_REQUIRES(mu_);
 
   void note_flight(const char* what, int device, std::uint64_t bytes) const {
     if (flight_ == nullptr || flight_sim_ == nullptr) return;
@@ -179,12 +231,17 @@ class GMemoryManager {
   mutable core::Mutex mu_;
   std::vector<JobRegions> regions_ GFLINK_GUARDED_BY(mu_);
   std::vector<std::uint64_t> staging_bytes_ GFLINK_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::string> job_tenant_ GFLINK_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint64_t> tenant_quota_ GFLINK_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint64_t> tenant_inserted_ GFLINK_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GFLINK_GUARDED_BY(mu_) = 0;
   mutable std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> pins_{0};
   std::atomic<std::uint64_t> staging_reservations_{0};
   std::atomic<std::uint64_t> staging_failures_{0};
+  std::atomic<std::uint64_t> cross_tenant_evictions_{0};
 };
 
 }  // namespace gflink::core

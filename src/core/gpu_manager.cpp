@@ -46,6 +46,8 @@ void GpuManager::export_metrics(obs::MetricsRegistry& out) const {
   out.counter("gpu_cache_hits_total").inc(static_cast<double>(memory_->hits()));
   out.counter("gpu_cache_misses_total").inc(static_cast<double>(memory_->misses()));
   out.counter("gpu_cache_evictions_total").inc(static_cast<double>(memory_->evictions()));
+  out.counter("gpu_cache_cross_tenant_evictions_total")
+      .inc(static_cast<double>(memory_->cross_tenant_evictions()));
   out.counter("gpu_cache_pins_total").inc(static_cast<double>(memory_->pins()));
   out.counter("gpu_staging_reservations_total")
       .inc(static_cast<double>(memory_->staging_reservations()));

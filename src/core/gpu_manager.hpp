@@ -93,6 +93,26 @@ class GFlinkRuntime {
     for (auto& m : managers_) m->release_job(job_id);
   }
 
+  // ---- Multi-tenant configuration (JobService) ----------------------------
+  // Fan the tenant mapping/quota/priority out to every worker's
+  // GMemoryManager / GStreamManager.
+  void set_job_tenant(std::uint64_t job_id, const std::string& tenant) {
+    for (auto& m : managers_) m->memory().set_job_tenant(job_id, tenant);
+  }
+  void set_tenant_quota(const std::string& tenant, std::uint64_t bytes) {
+    for (auto& m : managers_) m->memory().set_tenant_quota(tenant, bytes);
+  }
+  void set_tenant_priority(const std::string& tenant, int priority) {
+    for (auto& m : managers_) m->streams().set_tenant_priority(tenant, priority);
+  }
+  /// Cluster-wide cumulative cache bytes inserted by `tenant` (the
+  /// achieved-cache-share numerator for fairness reporting).
+  std::uint64_t tenant_inserted_bytes(const std::string& tenant) const {
+    std::uint64_t n = 0;
+    for (const auto& m : managers_) n += m->memory().tenant_inserted_bytes(tenant);
+    return n;
+  }
+
   // Cluster-wide statistics.
   std::uint64_t total_cache_hits() const;
   std::uint64_t total_cache_misses() const;

@@ -197,6 +197,7 @@ void GStreamManager::submit(const GWorkPtr& work) {
   GFLINK_CHECK_MSG(work->done == nullptr, "GWork submitted twice");
   work->done = std::make_shared<sim::Trigger>(*sim_);
   work->submitted_at = sim_->now();
+  work->priority = tenant_priority(work->tenant);
   // Record what Algorithm 5.1's probe would prefer regardless of the active
   // policy, so the locality hit/miss metric is comparable across ablations.
   work->preferred_gpu = memory_->best_device_for(*work);
@@ -232,14 +233,22 @@ void GStreamManager::submit(const GWorkPtr& work) {
   ensure_alive(queue);
 }
 
-GWorkPtr GStreamManager::steal(int gpu) {
-  // Algorithm 5.2.
-  auto& own = pool_[static_cast<std::size_t>(gpu)];
-  if (!own.empty()) {
-    GWorkPtr w = own.front();
-    own.pop_front();
-    return w;
+GWorkPtr GStreamManager::pop_best(std::deque<GWorkPtr>& q) {
+  auto best = q.begin();
+  for (auto it = std::next(q.begin()); it != q.end(); ++it) {
+    if ((*it)->priority > (*best)->priority) best = it;  // FIFO within one priority
   }
+  if (best != q.begin()) priority_bypasses_.fetch_add(1, std::memory_order_relaxed);
+  GWorkPtr w = *best;
+  q.erase(best);
+  return w;
+}
+
+GWorkPtr GStreamManager::steal(int gpu) {
+  // Algorithm 5.2 (pop order is tenant-priority-aware, FIFO within one
+  // priority; with no tenant priorities configured this is plain FIFO).
+  auto& own = pool_[static_cast<std::size_t>(gpu)];
+  if (!own.empty()) return pop_best(own);
   std::size_t longest = 0, depth = 0;
   for (std::size_t g = 0; g < pool_.size(); ++g) {
     if (pool_[g].size() > depth) {
@@ -248,8 +257,7 @@ GWorkPtr GStreamManager::steal(int gpu) {
     }
   }
   if (depth == 0) return nullptr;
-  GWorkPtr w = pool_[longest].front();
-  pool_[longest].pop_front();
+  GWorkPtr w = pop_best(pool_[longest]);
   steals_.fetch_add(1, std::memory_order_relaxed);
   w->was_stolen = true;
   return w;
@@ -738,6 +746,7 @@ void GStreamManager::export_metrics(obs::MetricsRegistry& out) const {
         .inc(static_cast<double>(executed_[g]));
   }
   out.counter("gstream_steals_total").inc(static_cast<double>(steals_));
+  out.counter("gstream_priority_bypass_total").inc(static_cast<double>(priority_bypasses_));
   out.counter("gstream_cross_bulk_total").inc(static_cast<double>(cross_bulk_));
   out.counter("gstream_freed_streams_total").inc(static_cast<double>(freed_count_));
   out.counter("gstream_locality_hits_total").inc(static_cast<double>(locality_hits_));

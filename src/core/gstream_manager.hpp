@@ -21,6 +21,8 @@
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/gmemory_manager.hpp"
@@ -81,6 +83,18 @@ class GStreamManager {
   int num_gpus() const { return static_cast<int>(wrappers_.size()); }
   int streams_per_gpu() const { return config_.streams_per_gpu; }
 
+  /// Per-tenant GWork priority (JobService multi-tenancy): queued GWork of
+  /// a higher-priority tenant pops before lower-priority work, FIFO within
+  /// one priority. Applied at submit time to work whose GWork::tenant
+  /// matches; 0 (the default) keeps plain FIFO.
+  void set_tenant_priority(const std::string& tenant, int priority) {
+    tenant_priority_[tenant] = priority;
+  }
+  int tenant_priority(const std::string& tenant) const {
+    auto it = tenant_priority_.find(tenant);
+    return it == tenant_priority_.end() ? 0 : it->second;
+  }
+
   // Statistics for load-balance and stealing tests. All counters are
   // relaxed atomics: independent monotonic totals bumped from concurrent
   // stream coroutines, read by exporters without the scheduler involved.
@@ -88,6 +102,11 @@ class GStreamManager {
     return executed_.at(static_cast<std::size_t>(gpu)).load(std::memory_order_relaxed);
   }
   std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  /// Times a queued GWork popped ahead of the queue front because its
+  /// tenant priority was higher (FIFO order bypassed).
+  std::uint64_t priority_bypasses() const {
+    return priority_bypasses_.load(std::memory_order_relaxed);
+  }
   std::uint64_t cross_bulk_assignments() const {
     return cross_bulk_.load(std::memory_order_relaxed);
   }
@@ -143,6 +162,10 @@ class GStreamManager {
   /// Algorithm 5.2: steal from own queue, else from the longest one.
   GWorkPtr steal(int gpu);
 
+  /// Pop the highest-priority GWork from `q` (FIFO within one priority;
+  /// plain FIFO when all priorities are equal).
+  GWorkPtr pop_best(std::deque<GWorkPtr>& q);
+
   /// Stream thread body: execute, steal, park with timeout, free.
   sim::Co<void> worker_loop(StreamWorker* w);
   void ensure_alive(int gpu);
@@ -192,9 +215,12 @@ class GStreamManager {
   // so it carries no lock (docs/ARCHITECTURE.md, "Concurrency invariants").
   std::vector<std::deque<GWorkPtr>> pool_;  // GWork Pool: FIFO per GPU
   std::vector<std::vector<std::unique_ptr<StreamWorker>>> bulks_;
+  // Tenant priority table (JobService): simulation-plane like the queues.
+  std::unordered_map<std::string, int> tenant_priority_;
 
   std::vector<std::atomic<std::uint64_t>> executed_;
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> priority_bypasses_{0};
   std::atomic<std::uint64_t> cross_bulk_{0};
   std::atomic<std::uint64_t> freed_count_{0};
   std::atomic<std::uint64_t> locality_hits_{0};

@@ -60,6 +60,14 @@ struct GWork {
   int grid_size = 0;  // 0 = derived from size/block_size
 
   std::uint64_t job_id = 0;  // scopes the GPU cache region
+  /// Tenant that owns the producing job (empty = the default tenant).
+  /// Drives the per-tenant GWork priority in the GStream Pool and the
+  /// per-tenant cache-quota accounting in GMemoryManager.
+  std::string tenant;
+  /// Dispatch priority within the GWork Pool (higher pops first, FIFO
+  /// within one priority). Filled by the scheduler from the tenant's
+  /// configured priority at submit time; 0 = default.
+  int priority = 0;
   mem::Layout layout = mem::Layout::SoA;
 
   /// Execute over device-mapped host memory (paper §4.1.2): no explicit

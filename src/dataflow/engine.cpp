@@ -31,6 +31,7 @@ void* TaskContext::extension() { return engine_->worker_state(worker_node_).exte
 
 Job::Job(Engine& engine, std::string name) : engine_(&engine), id_(engine.next_job_id_++) {
   stats_.name = std::move(name);
+  stats_.job_id = id_;
 }
 
 sim::Co<void> Job::submit() {
@@ -42,11 +43,13 @@ sim::Co<void> Job::submit() {
   span_ = spans.open("job", obs::SpanCategory::Control, 0, stats_.submitted_at, "master/job", 0,
                      id_);
   spans.annotate(span_, "name", stats_.name);
+  if (!stats_.tenant.empty()) spans.annotate(span_, "tenant", stats_.tenant);
   // Client -> JobManager: ship the program, translate and optimize the
   // plan, acquire slots. Tsubmit + Tschedule in the paper's Eq. (1).
   co_await engine_->sim().delay(engine_->config().job_submit_overhead);
   co_await engine_->sim().delay(engine_->config().job_schedule_overhead);
   stats_.running_at = engine_->now();
+  stats_.state = JobState::Running;
   spans.record("submit", obs::SpanCategory::Control, span_, stats_.submitted_at,
                stats_.running_at, "master/job", 0);
   submitted_ = true;
@@ -54,8 +57,14 @@ sim::Co<void> Job::submit() {
 
 void Job::finish() {
   stats_.finished_at = engine_->now();
+  stats_.state = JobState::Finished;
   engine_->cluster().spans().close(span_, stats_.finished_at);
   span_ = 0;
+}
+
+void Job::cancel() {
+  GFLINK_CHECK_MSG(!submitted_, "cannot cancel a job that already submitted");
+  stats_.state = JobState::Cancelled;
 }
 
 // ---- Engine ----------------------------------------------------------------
@@ -263,6 +272,7 @@ sim::Co<DataHandle> Engine::run_source(Job& job, const SourceSpec& source) {
           eng.cluster().flight().note_event(eng.now(), node, "task_failed",
                                             "source partition " + std::to_string(part_idx));
           ++eng.tasks_failed_;
+          ++jb.stats().tasks_failed;
           fails->push_back(part_idx);
         }
         join.done();
@@ -275,6 +285,7 @@ sim::Co<DataHandle> Engine::run_source(Job& job, const SourceSpec& source) {
       for (int idx : *failed) {
         pending.emplace_back(idx, pick_alive_worker(owner_of_partition(idx)));
         ++tasks_retried_;
+        ++job.stats().tasks_retried;
       }
     }
   }
@@ -508,6 +519,7 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
           co_await eng.stage_task(jb, st, idx, part_in, result, ex, nparts, ss, st_span);
         } catch (const TaskFailed&) {
           ++eng.tasks_failed_;
+          ++jb.stats().tasks_failed;
           fails->push_back(idx);
         }
         join.done();
@@ -523,6 +535,7 @@ sim::Co<DataHandle> Engine::run_stage(Job& job, const Stage& stage, DataHandle i
         MaterializedDataSet::Part retry = input->parts[static_cast<std::size_t>(idx)];
         retry.worker = pick_alive_worker(retry.worker);
         ++tasks_retried_;
+        ++job.stats().tasks_retried;
         pending.emplace_back(idx, retry);
       }
     }
@@ -789,7 +802,10 @@ sim::Co<DataHandle> Engine::join(Job& job, const DataHandle& left, const DataHan
 }
 
 sim::Co<void> Engine::checkpoint(Job& job, const std::string& name, std::uint64_t bytes) {
-  co_await dfs_.write(0, "/checkpoints/" + job.stats().name + "/" + name, bytes);
+  // Keyed by job id, not just name: concurrent jobs running the same
+  // program (multi-tenant service) must not clobber each other's snapshots.
+  co_await dfs_.write(0, "/checkpoints/" + job.stats().name + "-" +
+                             std::to_string(job.id()) + "/" + name, bytes);
   job.stats().io_bytes_written += bytes;
   cluster_.metrics().inc("fault.checkpoints");
 }

@@ -77,8 +77,21 @@ struct StageStat {
   std::uint64_t shuffle_bytes = 0;
 };
 
+/// Lifecycle of a job under the JobService. Jobs driven directly (the
+/// single-job pattern every test/bench used before the service existed) go
+/// Created -> Running -> Finished; the service adds the Queued state while
+/// a submission waits for admission, and Cancelled for jobs withdrawn
+/// before dispatch.
+enum class JobState : std::uint8_t { Created, Queued, Running, Finished, Cancelled };
+
 struct JobStats {
   std::string name;
+  /// Cluster-unique id (mirrors Job::id()) — keys everything per-job:
+  /// GPU cache regions, trace ids, checkpoint paths.
+  std::uint64_t job_id = 0;
+  /// Owning tenant ("" = default); set through Job::set_tenant().
+  std::string tenant;
+  JobState state = JobState::Created;
   sim::Time submitted_at = 0;
   sim::Time running_at = 0;   // submission + scheduling done
   sim::Time finished_at = 0;  // set by Job::finish()
@@ -86,8 +99,17 @@ struct JobStats {
   std::uint64_t io_bytes_read = 0;
   std::uint64_t io_bytes_written = 0;
   std::uint64_t shuffle_bytes = 0;
+  // Per-job fault accounting (the engine-wide totals sum these across
+  // concurrent jobs; a job must not observe its neighbors' failures).
+  std::uint64_t tasks_failed = 0;
+  std::uint64_t tasks_retried = 0;
 
-  sim::Duration total() const { return finished_at - submitted_at; }
+  /// End-to-end latency. Well-defined for every state: 0 until the job
+  /// actually finished (a queued or cancelled job has no total, and must
+  /// not underflow into a huge unsigned duration downstream).
+  sim::Duration total() const {
+    return state == JobState::Finished ? finished_at - submitted_at : 0;
+  }
 };
 
 /// Per-worker runtime state (the TaskManager).
@@ -155,6 +177,15 @@ class Job {
 
   /// Mark the job finished (records the completion time).
   void finish();
+
+  /// Withdraw a job that never ran (JobService admission rejection or
+  /// explicit cancel while queued). Illegal on a submitted job.
+  void cancel();
+
+  /// Tag the job with its owning tenant (must precede submit(): the tag
+  /// flows into the root span and every GWork the job produces).
+  void set_tenant(std::string tenant) { stats_.tenant = std::move(tenant); }
+  const std::string& tenant() const { return stats_.tenant; }
 
   bool submitted() const { return submitted_; }
   JobStats& stats() { return stats_; }

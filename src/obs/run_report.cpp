@@ -18,7 +18,7 @@ void RunReport::capture_spans(const SpanStore& spans) {
 Json RunReport::to_json() const {
   Json root = Json::object();
   root["name"] = name;
-  root["schema"] = "gflink.run_report/v2";
+  root["schema"] = "gflink.run_report/v3";
   root["config"] = config;
   root["wall_seconds"] = wall_seconds;
   root["virtual_ns"] = static_cast<std::int64_t>(virtual_ns);
@@ -35,6 +35,7 @@ Json RunReport::to_json() const {
   root["lane_utilization"] = std::move(lanes_json);
   if (!critical_path.is_null()) root["critical_path"] = critical_path;
   if (!stragglers.is_null()) root["stragglers"] = stragglers;
+  if (!tenants.is_null()) root["tenants"] = tenants;
   return root;
 }
 

@@ -27,6 +27,10 @@ struct RunReport {
   std::map<std::string, LaneUtilization> lanes;  // from the last traced run
   Json critical_path;              // CriticalPath::to_json(); Null when untraced
   Json stragglers;                 // array of Straggler::to_json(); Null when untraced
+  /// Per-tenant fairness section (schema v3): filled from
+  /// service::JobService::fairness_json() on multi-tenant runs, Null
+  /// otherwise (single-tenant reports simply omit the key).
+  Json tenants;
 
   /// Record one configuration entry (string/number/bool via Json ctors).
   void set_config(const std::string& key, Json value) { config[key] = std::move(value); }

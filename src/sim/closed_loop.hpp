@@ -1,0 +1,49 @@
+// Closed-loop multi-client driver: K concurrent clients, each issuing its
+// next request only after the previous one completed (plus think time).
+// This is the serving-style load model behind the multi-tenant JobService
+// benchmarks — offered load adapts to service capacity, so the system runs
+// saturated without unbounded queue growth.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace gflink::sim {
+
+/// One client's identity within a closed-loop run.
+struct ClosedLoopClient {
+  int client = 0;   // 0-based client index
+  int request = 0;  // 0-based request index within this client
+};
+
+/// Run `clients` concurrent closed loops of `requests_per_client` requests
+/// each. `request` is awaited to completion before the client's next issue;
+/// `think_time` separates completion from the next request (0 = back to
+/// back). A client also stops issuing once the virtual clock passes
+/// `deadline` (0 = no deadline) — time-bounded runs measure steady-state
+/// shares instead of everyone eventually finishing a fixed quota.
+/// Completes when every client has drained.
+inline Co<void> run_closed_loop(Simulation& sim, int clients, int requests_per_client,
+                                Duration think_time,
+                                std::function<Co<void>(const ClosedLoopClient&)> request,
+                                Time deadline = 0) {
+  WaitGroup wg(sim);
+  wg.add(clients);
+  for (int c = 0; c < clients; ++c) {
+    sim.spawn([](Simulation& s, int client, int requests, Duration think,
+                 std::function<Co<void>(const ClosedLoopClient&)> fn, Time stop_at,
+                 WaitGroup& join) -> Co<void> {
+      for (int r = 0; r < requests; ++r) {
+        if (stop_at > 0 && s.now() >= stop_at) break;
+        co_await fn(ClosedLoopClient{client, r});
+        if (think > 0 && r + 1 < requests) co_await s.delay(think);
+      }
+      join.done();
+    }(sim, c, requests_per_client, think_time, request, deadline, wg));
+  }
+  co_await wg.wait();
+}
+
+}  // namespace gflink::sim

@@ -1,0 +1,12 @@
+// Fixture: service metrics/spans WITHOUT tenant attribution (2 findings:
+// the counter and the span record; the histogram below is labelled).
+#include "service/job_service.hpp"
+
+void emit(gflink::obs::MetricsRegistry& metrics, gflink::obs::SpanStore& spans,
+          const std::string& tenant) {
+  metrics.counter("service_submitted_total").inc();  // BAD: no tenant label
+  spans().record("service_queue_wait", gflink::obs::SpanCategory::Wait, 0, 0, 1,
+                 "service", 0);  // BAD: lane is not tenant-derived
+  metrics.histogram("service_latency_ns", 0.0, 1e9, 10, {{"tenant", tenant}})
+      .add(1.0);  // ok
+}

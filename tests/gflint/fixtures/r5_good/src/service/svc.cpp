@@ -1,0 +1,11 @@
+// Fixture: every service metric/span carries a tenant attribution.
+#include "service/job_service.hpp"
+
+void emit(gflink::obs::MetricsRegistry& metrics, gflink::obs::SpanStore& spans,
+          const std::string& tenant) {
+  metrics.counter("service_submitted_total", {{"tenant", tenant}}).inc();
+  spans().record("service_queue_wait", gflink::obs::SpanCategory::Wait, 0, 0, 1,
+                 tenant_lane(tenant), 0);
+  metrics.histogram("service_latency_ns", 0.0, 1e9, 10, {{"tenant", tenant}})
+      .add(1.0);
+}

@@ -28,6 +28,8 @@ CASES = [
     ("r3_good", "R3", 0, {}),
     ("r4_bad", "R4", 1, {"R4": 2}),
     ("r4_good", "R4", 0, {}),
+    ("r5_bad", "R5", 1, {"R5": 2}),
+    ("r5_good", "R5", 0, {}),
 ]
 
 

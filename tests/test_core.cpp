@@ -241,6 +241,104 @@ TEST(GMemoryManager, BestDeviceTracksCachedInputBytes) {
   EXPECT_EQ(m.cached_input_bytes(0, work), 0u);
 }
 
+// ---- Multi-tenant cache quotas (JobService) ---------------------------------
+
+TEST(GMemoryManager, TenantQuotaEnforcedBySelfEviction) {
+  Simulation s;
+  gpu::GpuDevice dev(s, "g", StreamFixture::test_spec());
+  core::GMemoryManager m({&dev}, 1024, core::CachePolicy::Fifo);
+  m.set_job_tenant(1, "t");
+  m.set_job_tenant(2, "t");
+  m.set_tenant_quota("t", 512);
+  ASSERT_TRUE(m.insert(0, 1, 1, 300).has_value());
+  m.unpin(0, 1, 1);
+  // Job 2 of the same tenant: 300 + 300 > 512, so the tenant's own oldest
+  // entry (job 1's) is evicted to stay under quota — cross-job, same tenant.
+  ASSERT_TRUE(m.insert(0, 2, 2, 300).has_value());
+  m.unpin(0, 2, 2);
+  EXPECT_FALSE(m.lookup(0, 1, 1).has_value());
+  EXPECT_TRUE(m.lookup(0, 2, 2).has_value());
+  EXPECT_EQ(m.tenant_cached_bytes(0, "t"), 300u);
+  EXPECT_EQ(m.tenant_inserted_bytes("t"), 600u);
+  EXPECT_EQ(m.cross_tenant_evictions(), 0u);  // self-eviction is not cross-tenant
+}
+
+TEST(GMemoryManager, TenantQuotaDeclinesOversizedAndPinnedWorkingSet) {
+  Simulation s;
+  gpu::GpuDevice dev(s, "g", StreamFixture::test_spec());
+  core::GMemoryManager m({&dev}, 4096, core::CachePolicy::Fifo);
+  m.set_job_tenant(1, "t");
+  m.set_tenant_quota("t", 512);
+  EXPECT_FALSE(m.insert(0, 1, 1, 600).has_value());  // larger than the quota
+  ASSERT_TRUE(m.insert(0, 1, 2, 400).has_value());   // pinned by insert
+  // 400 pinned + 200 would exceed the quota and nothing is evictable.
+  EXPECT_FALSE(m.insert(0, 1, 3, 200).has_value());
+  m.unpin(0, 1, 2);
+  EXPECT_TRUE(m.insert(0, 1, 3, 200).has_value());  // now key 2 can yield
+}
+
+TEST(GMemoryManager, DevicePressureEvictsOverQuotaTenantFirst) {
+  Simulation s;
+  auto spec = StreamFixture::test_spec();
+  spec.device_memory = 1024;  // tiny device: cache regions contend for it
+  gpu::GpuDevice dev(s, "g", spec);
+  core::GMemoryManager m({&dev}, 4096, core::CachePolicy::Fifo);
+  m.set_job_tenant(1, "over");
+  m.set_job_tenant(2, "under");
+  // "over" fills the device while unconstrained, then its quota shrinks.
+  ASSERT_TRUE(m.insert(0, 1, 1, 300).has_value());
+  m.unpin(0, 1, 1);
+  ASSERT_TRUE(m.insert(0, 1, 2, 300).has_value());
+  m.unpin(0, 1, 2);
+  m.set_tenant_quota("over", 256);   // now 600 used > 256: over quota
+  m.set_tenant_quota("under", 512);
+  ASSERT_TRUE(m.insert(0, 2, 3, 200).has_value());
+  m.unpin(0, 2, 3);
+  // Device full (600 + 200 = 800 of 1024): "under" needs 300 more; the
+  // victim must be "over"'s oldest entry, not anything of "under".
+  ASSERT_TRUE(m.insert(0, 2, 4, 300).has_value());
+  m.unpin(0, 2, 4);
+  EXPECT_GE(m.cross_tenant_evictions(), 1u);
+  EXPECT_FALSE(m.lookup(0, 1, 1).has_value());  // over's oldest evicted
+  EXPECT_TRUE(m.lookup(0, 2, 3).has_value());   // under's entry untouched
+  EXPECT_TRUE(m.lookup(0, 2, 4).has_value());
+}
+
+TEST(GMemoryManager, UnderQuotaTenantNeverEvictedCrossTenant) {
+  Simulation s;
+  auto spec = StreamFixture::test_spec();
+  spec.device_memory = 1024;
+  gpu::GpuDevice dev(s, "g", spec);
+  core::GMemoryManager m({&dev}, 4096, core::CachePolicy::Fifo);
+  m.set_job_tenant(1, "u");
+  m.set_tenant_quota("u", 512);
+  // Sizes are multiples of the 256 B device allocation granule.
+  ASSERT_TRUE(m.insert(0, 1, 1, 256).has_value());  // "u": well under quota
+  m.unpin(0, 1, 1);
+  // Default tenant (no quota) fills the rest and keeps its entry pinned, so
+  // it has nothing of its own to give back.
+  ASSERT_TRUE(m.insert(0, 2, 2, 512).has_value());  // pinned by insert
+  // 768 of 1024 used. No over-quota victim exists and the requester's own
+  // entries are pinned: the insert must decline rather than evict "u".
+  EXPECT_FALSE(m.insert(0, 2, 3, 512).has_value());
+  EXPECT_EQ(m.cross_tenant_evictions(), 0u);
+  EXPECT_TRUE(m.lookup(0, 1, 1).has_value());  // under-quota tenant untouched
+}
+
+TEST(GMemoryManager, ReleaseJobForgetsTenantMapping) {
+  Simulation s;
+  gpu::GpuDevice dev(s, "g", StreamFixture::test_spec());
+  core::GMemoryManager m({&dev}, 1024, core::CachePolicy::Fifo);
+  m.set_job_tenant(5, "t");
+  m.set_tenant_quota("t", 256);
+  ASSERT_TRUE(m.insert(0, 5, 1, 200).has_value());
+  m.release_job(5);
+  // Job 5's next incarnation (ids are unique, but defensively) and any job
+  // without a mapping belong to the default tenant again: no quota applies.
+  ASSERT_TRUE(m.insert(0, 5, 2, 600).has_value());
+  EXPECT_EQ(m.tenant_cached_bytes(0, "t"), 0u);
+}
+
 // ---- GStreamManager ---------------------------------------------------------
 
 TEST(GStreamManager, ExecutesWorkEndToEnd) {
@@ -458,6 +556,44 @@ TEST(GStreamManager, MappedMemoryCostsPcieBandwidth) {
   // Both complete; the copy path pays transfers both ways so it is slower
   // for this single one-shot work.
   EXPECT_LT(mapped, copied);
+}
+
+TEST(GStreamManager, TenantPriorityJumpsTheQueue) {
+  // One stream per GPU and heavy works so the pool backlogs; a high-priority
+  // tenant submitted *after* the background works must be popped first.
+  core::GStreamConfig cfg;
+  cfg.streams_per_gpu = 1;
+  StreamFixture f(cfg);
+  f.streams.set_tenant_priority("vip", 10);
+  sim::WaitGroup wg(f.s);
+  std::vector<std::pair<std::string, sim::Time>> done;  // (tenant, finish time)
+  auto submit = [&](const std::string& tenant) {
+    auto work = f.make_work(400000);  // ~6.4 ms H2D each: queues build up
+    work->tenant = tenant;
+    wg.add();
+    f.s.spawn([](core::GStreamManager& gs, GWorkPtr w, sim::WaitGroup& join, Simulation& s,
+                 std::vector<std::pair<std::string, sim::Time>>& log,
+                 std::string t) -> Co<void> {
+      co_await gs.run(w);
+      log.emplace_back(std::move(t), s.now());
+      join.done();
+    }(f.streams, work, wg, f.s, done, tenant));
+  };
+  for (int i = 0; i < 8; ++i) submit("bg");
+  for (int i = 0; i < 4; ++i) submit("vip");
+  f.s.run();
+  ASSERT_EQ(done.size(), 12u);
+  sim::Time vip_last = 0, bg_last = 0;
+  for (const auto& [tenant, at] : done) {
+    if (tenant == "vip") {
+      vip_last = std::max(vip_last, at);
+    } else {
+      bg_last = std::max(bg_last, at);
+    }
+  }
+  // Every queued vip work overtook the queued bg backlog.
+  EXPECT_LT(vip_last, bg_last);
+  EXPECT_GT(f.streams.priority_bypasses(), 0u);
 }
 
 // ---- Chunked transfer/compute pipeline --------------------------------------

@@ -237,9 +237,12 @@ TEST(Fault, CheckpointsWriteReplicatedSnapshots) {
     r = co_await wl::kmeans::run(eng, nullptr, tb, wl::Mode::Cpu, cfg);
   });
   EXPECT_DOUBLE_EQ(engine.cluster().metrics().counter("fault.checkpoints"), 3.0);
-  EXPECT_TRUE(engine.dfs().exists("/checkpoints/kmeans/iter-1"));
-  EXPECT_TRUE(engine.dfs().exists("/checkpoints/kmeans/iter-3"));
-  EXPECT_TRUE(engine.dfs().exists("/checkpoints/kmeans/iter-5"));
+  // Checkpoint paths are keyed by "<name>-<job id>" so concurrent jobs
+  // running the same program cannot clobber each other's snapshots.
+  const std::string ckpt = "/checkpoints/kmeans-" + std::to_string(r.run.stats.job_id);
+  EXPECT_TRUE(engine.dfs().exists(ckpt + "/iter-1"));
+  EXPECT_TRUE(engine.dfs().exists(ckpt + "/iter-3"));
+  EXPECT_TRUE(engine.dfs().exists(ckpt + "/iter-5"));
   EXPECT_GT(r.run.stats.io_bytes_written, 0u);
 }
 

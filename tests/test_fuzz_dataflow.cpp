@@ -4,10 +4,12 @@
 // straightforward single-threaded reference evaluation of the same chain.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <map>
 
 #include "dataflow/dataset.hpp"
 #include "dataflow/engine.hpp"
+#include "service/job_service.hpp"
 #include "sim/random.hpp"
 
 namespace sim = gflink::sim;
@@ -200,3 +202,163 @@ TEST_P(PlanFuzz, RandomChainsMatchReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzz, ::testing::Range(0, 20));
+
+// ---- Multi-tenant service fuzz ----------------------------------------------
+//
+// Drive a random tenant mix (weights, in-flight caps, job counts, cancels)
+// plus injected transfer faults through the JobService. Every job that the
+// service reports Completed must have produced exactly the reference result
+// of its own random chain — concurrency, admission control, and fault
+// retries must never corrupt or cross-wire job results.
+
+namespace svc = gflink::service;
+
+namespace {
+
+struct FuzzJob {
+  std::vector<KV> input;
+  std::vector<OpSpec> ops;
+  std::uint64_t key_mod = 1;
+  std::map<std::uint64_t, std::int64_t> expected;
+  std::map<std::uint64_t, std::int64_t> actual;
+  svc::TicketPtr ticket;
+};
+
+Co<void> run_chain(Engine& eng, Job& job, const FuzzJob& fj,
+                   std::map<std::uint64_t, std::int64_t>& out) {
+  const int partitions = 1 + static_cast<int>(fj.input.size() % 4);
+  DataSet<KV> ds = DataSet<KV>::from_generator(
+      eng, &kv_desc(), partitions, [&fj, partitions](int part, std::vector<KV>& rows) {
+        for (std::size_t i = static_cast<std::size_t>(part); i < fj.input.size();
+             i += static_cast<std::size_t>(partitions)) {
+          rows.push_back(fj.input[i]);
+        }
+      });
+  for (const auto& op : fj.ops) {
+    switch (op.kind) {
+      case OpSpec::Kind::MapAffine:
+        ds = ds.map<KV>(&kv_desc(), "affine", OpCost{2.0, 16.0},
+                        [a = op.a, b = op.b](const KV& kv) {
+                          return KV{kv.key, a * kv.value + b};
+                        });
+        break;
+      case OpSpec::Kind::FilterMod:
+        ds = ds.filter("mod", OpCost{2.0, 16.0}, [a = op.a, b = op.b](const KV& kv) {
+          return safe_mod(kv.value, a) != b;
+        });
+        break;
+      case OpSpec::Kind::FlatMapDup:
+        ds = ds.flat_map<KV>(&kv_desc(), "dup", OpCost{2.0, 16.0},
+                             [a = op.a](const KV& kv, df::FlatCollector<KV>& out2) {
+                               for (std::int64_t d = 0; d < a; ++d) out2.add(kv);
+                             });
+        break;
+    }
+  }
+  auto reduced = ds.reduce_by_key("sum", OpCost{2.0, 16.0},
+                                  [key_mod = fj.key_mod](const KV& kv) {
+                                    return kv.key % key_mod;
+                                  },
+                                  [](KV& acc, const KV& kv) { acc.value += kv.value; });
+  auto rows = co_await reduced.collect(job);
+  for (const auto& kv : rows) out[kv.key % fj.key_mod] += kv.value;
+}
+
+}  // namespace
+
+class ServiceFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServiceFuzz, RandomTenantMixesWithFaultsMatchReference) {
+  sim::Rng rng(77000 + static_cast<std::uint64_t>(GetParam()));
+
+  df::EngineConfig cfg;
+  cfg.cluster.num_workers = 1 + static_cast<int>(rng.next_below(3));
+  cfg.dfs.replication = std::min(2, cfg.cluster.num_workers);
+  cfg.job_submit_overhead = 0;
+  cfg.job_schedule_overhead = 0;
+  cfg.shuffle = random_shuffle_config(rng);
+  Engine e(cfg);
+  e.shuffle_service().inject_transfer_faults(static_cast<int>(rng.next_below(3)));
+
+  svc::ServiceConfig scfg;
+  scfg.max_pending = 2 + rng.next_below(12);  // small: overflow rejections happen
+  scfg.max_total_in_flight = static_cast<int>(rng.next_below(4));  // 0 = unlimited
+  svc::JobService service(e, nullptr, scfg);
+
+  const int num_tenants = 2 + static_cast<int>(rng.next_below(3));
+  std::vector<std::string> tenants;
+  for (int i = 0; i < num_tenants; ++i) {
+    svc::TenantConfig tc;
+    tc.name = "t" + std::to_string(i);
+    tc.weight = 1.0 + static_cast<double>(rng.next_below(4));
+    tc.max_in_flight = static_cast<int>(rng.next_below(3));  // 0 = unlimited
+    service.add_tenant(tc);
+    tenants.push_back(tc.name);
+  }
+
+  // Stable addresses: bodies capture references into this deque.
+  std::deque<FuzzJob> jobs;
+  e.run([&](Engine& eng) -> Co<void> {
+    const int total_jobs = 4 + static_cast<int>(rng.next_below(10));
+    for (int j = 0; j < total_jobs; ++j) {
+      FuzzJob& fj = jobs.emplace_back();
+      fj.key_mod = 1 + rng.next_below(8);
+      const std::size_t n = 20 + rng.next_below(200);
+      for (std::size_t i = 0; i < n; ++i) {
+        fj.input.push_back(KV{rng.next_below(100),
+                              static_cast<std::int64_t>(rng.next_below(1000)) - 500});
+      }
+      fj.ops = random_chain(rng);
+      fj.expected = reference(fj.input, fj.ops, fj.key_mod);
+      const std::string& tenant = tenants[rng.next_below(tenants.size())];
+      fj.ticket = service.submit(tenant, "fuzz-" + std::to_string(j),
+                                 1.0 + static_cast<double>(rng.next_below(3)),
+                                 [&eng, &fj](Job& job) -> Co<void> {
+                                   co_await run_chain(eng, job, fj, fj.actual);
+                                 });
+      if (rng.next_below(4) == 0) {
+        co_await eng.sim().delay(sim::micros(1 + rng.next_below(200)));
+      }
+    }
+    // Withdraw a few still-pending submissions mid-flight.
+    for (auto& fj : jobs) {
+      if (rng.next_below(8) == 0) service.cancel(fj.ticket);
+    }
+    co_await service.drain();
+  });
+
+  std::uint64_t completed = 0, rejected = 0, cancelled = 0;
+  for (const auto& fj : jobs) {
+    switch (fj.ticket->state()) {
+      case svc::TicketState::Completed:
+        ++completed;
+        EXPECT_EQ(fj.actual, fj.expected)
+            << "seed " << GetParam() << ", tenant " << fj.ticket->tenant() << ", ops "
+            << fj.ops.size() << ", key_mod " << fj.key_mod;
+        EXPECT_EQ(fj.ticket->stats().state, df::JobState::Finished);
+        break;
+      case svc::TicketState::Rejected:
+      case svc::TicketState::Cancelled:
+        if (fj.ticket->state() == svc::TicketState::Rejected) {
+          ++rejected;
+        } else {
+          ++cancelled;
+        }
+        // Never ran: no result, and the stats must not report a runtime.
+        EXPECT_TRUE(fj.actual.empty());
+        EXPECT_EQ(fj.ticket->stats().state, df::JobState::Cancelled);
+        EXPECT_EQ(fj.ticket->stats().total(), 0);
+        break;
+      default:
+        ADD_FAILURE() << "ticket left in non-terminal state (seed " << GetParam() << ")";
+    }
+  }
+  EXPECT_EQ(completed, service.completed());
+  EXPECT_EQ(rejected, service.rejected());
+  EXPECT_EQ(cancelled, service.cancelled());
+  EXPECT_EQ(completed + rejected + cancelled, jobs.size());
+  EXPECT_EQ(service.pending(), 0u);
+  EXPECT_EQ(service.in_flight(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceFuzz, ::testing::Range(0, 12));

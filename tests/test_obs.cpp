@@ -251,7 +251,7 @@ TEST(RunReport, ToJsonCarriesHeadlineKeys) {
   EXPECT_DOUBLE_EQ(rep.metrics.gauge_value("locality_hit_ratio"), 0.25);
 
   Json j = rep.to_json();
-  EXPECT_EQ(j.find("schema")->as_string(), "gflink.run_report/v2");
+  EXPECT_EQ(j.find("schema")->as_string(), "gflink.run_report/v3");
   EXPECT_EQ(j.find("name")->as_string(), "unit");
   EXPECT_EQ(j.find("config")->find("workers")->as_int(), 4);
   EXPECT_DOUBLE_EQ(j.find("virtual_seconds")->as_double(), 2.0);

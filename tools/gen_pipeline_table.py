@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate (or check) the EXPERIMENTS.md chunked-pipeline table.
 
-Reads BENCH_ablation_pipeline.json (a gflink.run_report/v2 written by
+Reads BENCH_ablation_pipeline.json (a gflink.run_report/v3 written by
 bench/bench_ablation_pipeline), renders the markdown table between the
 `<!-- pipeline-ablation:begin -->` / `<!-- pipeline-ablation:end -->`
 markers in EXPERIMENTS.md, and either rewrites the file in place (default)

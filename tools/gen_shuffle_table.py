@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate (or check) the EXPERIMENTS.md shuffle-ablation table.
 
-Reads BENCH_ablation_shuffle.json (a gflink.run_report/v2 written by
+Reads BENCH_ablation_shuffle.json (a gflink.run_report/v3 written by
 bench/bench_ablation_shuffle), renders the markdown table between the
 `<!-- shuffle-ablation:begin -->` / `<!-- shuffle-ablation:end -->` markers
 in EXPERIMENTS.md, and either rewrites the file in place (default) or, with

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Regenerate (or check) the EXPERIMENTS.md multi-tenant fairness table.
+
+Reads BENCH_multitenant.json (a gflink.run_report/v3 written by
+bench/bench_multitenant), renders the markdown table between the
+`<!-- multitenant:begin -->` / `<!-- multitenant:end -->` markers in
+EXPERIMENTS.md, and either rewrites the file in place (default) or, with
+--check, fails if the committed numbers drift from the fresh run by more
+than --tolerance (relative) or if any tenant's achieved throughput or
+GPU-cache share is off its configured weight share by more than
+--fairness-tolerance (the acceptance bound of the weighted-fair service).
+
+Usage:
+  tools/gen_tenant_table.py --report BENCH_multitenant.json [--check]
+      [--experiments EXPERIMENTS.md] [--tolerance 0.05]
+      [--fairness-tolerance 0.10]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+TENANTS = ["gold", "silver", "bronze"]
+BEGIN = "<!-- multitenant:begin -->"
+END = "<!-- multitenant:end -->"
+
+
+def load_report(report_path):
+    with open(report_path) as f:
+        report = json.load(f)
+    gauges = {}
+    for gauge in report.get("metrics", {}).get("gauges", []):
+        name = gauge.get("name", "")
+        if not name.startswith("multitenant_"):
+            continue
+        tenant = gauge.get("labels", {}).get("tenant")
+        gauges.setdefault(tenant, {})[name] = float(gauge["value"])
+    missing = [t for t in TENANTS if t not in gauges
+               or "multitenant_throughput_share" not in gauges[t]]
+    if missing:
+        sys.exit(f"error: {report_path} is missing tenants {missing}; "
+                 "re-run bench_multitenant")
+    if "multitenant_jobs_per_second" not in gauges.get(None, {}):
+        sys.exit(f"error: {report_path} lacks multitenant_jobs_per_second; "
+                 "re-run bench_multitenant")
+    return gauges
+
+
+def check_fairness(gauges, tolerance):
+    """The acceptance bound: achieved shares within `tolerance` of weights."""
+    failures = []
+    for tenant in TENANTS:
+        g = gauges[tenant]
+        want = g["multitenant_weight_share"]
+        for what, key in (("throughput", "multitenant_throughput_share"),
+                          ("GPU-cache", "multitenant_cache_share")):
+            got = g[key]
+            if abs(got - want) > tolerance * want:
+                failures.append(
+                    f"{tenant}: {what} share {got:.3f} vs weight share "
+                    f"{want:.3f} (off by more than {tolerance:.0%})")
+    return failures
+
+
+def render_table(gauges):
+    lines = [
+        "| Tenant | Weight share | Throughput share | GPU-cache share "
+        "| p99 latency (sim s) |",
+        "|---|---|---|---|---|",
+    ]
+    for tenant in TENANTS:
+        g = gauges[tenant]
+        lines.append(
+            f"| {tenant} | {g['multitenant_weight_share']:.3f} "
+            f"| {g['multitenant_throughput_share']:.3f} "
+            f"| {g['multitenant_cache_share']:.3f} "
+            f"| {g['multitenant_p99_latency_s']:.4f} |")
+    jps = gauges[None]["multitenant_jobs_per_second"]
+    lines.append("")
+    lines.append(f"Aggregate: {jps:.1f} jobs/s (simulated).")
+    return "\n".join(lines)
+
+
+def parse_committed(block):
+    committed = {}
+    for match in re.finditer(
+            r"^\| (\w+) \| ([0-9.]+) \| ([0-9.]+) \| ([0-9.]+) \| ([0-9.]+) \|",
+            block, re.M):
+        committed[match.group(1)] = tuple(float(match.group(i)) for i in range(2, 6))
+    return committed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", default="BENCH_multitenant.json")
+    ap.add_argument("--experiments", default="EXPERIMENTS.md")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative drift per cell in --check")
+    ap.add_argument("--fairness-tolerance", type=float, default=0.10,
+                    help="allowed share-vs-weight deviation (always enforced)")
+    ap.add_argument("--check", action="store_true",
+                    help="fail on drift instead of rewriting the table")
+    args = ap.parse_args()
+
+    gauges = load_report(args.report)
+    unfair = check_fairness(gauges, args.fairness_tolerance)
+    if unfair:
+        sys.exit("weighted-fair service missed its configured shares:\n  "
+                 + "\n  ".join(unfair))
+
+    with open(args.experiments) as f:
+        text = f.read()
+    pattern = re.compile(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.S)
+    found = pattern.search(text)
+    if not found:
+        sys.exit(f"error: {args.experiments} lacks the {BEGIN} ... {END} markers")
+
+    if args.check:
+        committed = parse_committed(found.group(1))
+        failures = []
+        for tenant in TENANTS:
+            g = gauges[tenant]
+            fresh = (g["multitenant_weight_share"],
+                     g["multitenant_throughput_share"],
+                     g["multitenant_cache_share"],
+                     g["multitenant_p99_latency_s"])
+            if tenant not in committed:
+                failures.append(f"tenant '{tenant}' missing from committed table")
+                continue
+            for got, want, label in zip(committed[tenant], fresh,
+                                        ("weight", "throughput", "cache", "p99")):
+                scale = max(abs(want), 1e-12)
+                if abs(got - want) / scale > args.tolerance:
+                    failures.append(
+                        f"{tenant} {label}: committed {got:.4f} vs measured "
+                        f"{want:.4f} (drift > {args.tolerance:.0%})")
+        if failures:
+            sys.exit("EXPERIMENTS.md multitenant table drifted:\n  "
+                     + "\n  ".join(failures)
+                     + "\nRegenerate with tools/gen_tenant_table.py")
+        print("multitenant table matches the fresh run")
+        return
+
+    replacement = f"{BEGIN}\n{render_table(gauges)}\n{END}"
+    with open(args.experiments, "w") as f:
+        f.write(pattern.sub(lambda _: replacement, text))
+    print(f"updated {args.experiments}")
+
+
+if __name__ == "__main__":
+    main()

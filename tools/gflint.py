@@ -25,6 +25,12 @@ hierarchy" and the GStruct layout contract in src/mem/gstruct.hpp):
                      GSTRUCT_MIRROR_CHECK(T, ...) in some workloads
                      translation unit (the compile-time/static-init layout
                      proof behind the zero-serialization path).
+  R5  tenant-labels  Every metric emission and span record under
+                     src/service/ carries a tenant attribution (a
+                     {"tenant", ...} label or a tenant-derived span lane).
+                     The JobService is the multi-tenant control plane; an
+                     unattributed series there cannot be billed, graphed or
+                     alerted per tenant.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage or
 environment errors (missing root, unreadable files).
@@ -80,6 +86,13 @@ CATALOG_NAME_RE = re.compile(r"`([A-Za-z0-9_.]+)`")
 # R4: mirror structs and their checks.
 MIRROR_STRUCT_RE = re.compile(r"^struct\s+(\w+)\s*\{", re.M)
 MIRROR_CHECK_RE = re.compile(r"GSTRUCT_MIRROR_CHECK\(\s*(\w+)\s*,")
+
+# R5: span-record sites under src/service/. Metric sites reuse
+# METRIC_CALL_RE; the attribution check is textual — the full statement
+# (call site to the next ';') must mention "tenant" somewhere (a
+# {"tenant", ...} label, a tenant_lane(...) argument, t.config.name via a
+# tenant variable, ...).
+SPAN_RECORD_RE = re.compile(r"spans\(\)\s*\.\s*record\s*\(")
 
 SOURCE_GLOBS = ("**/*.cpp", "**/*.hpp")
 
@@ -228,6 +241,28 @@ def rule_mirrors(src: Path) -> list:
     return findings
 
 
+def rule_tenant_labels(src: Path) -> list:
+    findings = []
+    service = src / "service"
+    if not service.is_dir():
+        return findings
+    for path in iter_sources(service):
+        text = strip_comments(path.read_text())
+        sites = [(m.start(), f"metric '{m.group(1)}'")
+                 for m in METRIC_CALL_RE.finditer(text)]
+        sites += [(m.start(), "span record") for m in SPAN_RECORD_RE.finditer(text)]
+        for pos, what in sorted(sites):
+            stmt_end = text.find(";", pos)
+            stmt = text[pos:stmt_end] if stmt_end >= 0 else text[pos:]
+            if "tenant" not in stmt:
+                findings.append(Finding(
+                    "R5", path, line_of(text, pos),
+                    f"{what} under src/service carries no tenant attribution — "
+                    "label it {\"tenant\", ...} (metrics) or put it on a tenant "
+                    "lane (spans) so per-tenant SLOs stay observable"))
+    return findings
+
+
 # ---- Driver ----------------------------------------------------------------
 
 
@@ -236,7 +271,7 @@ def main() -> int:
     parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
                         help="repo root (containing src/ and EXPERIMENTS.md); "
                              "default: the checkout this script lives in")
-    parser.add_argument("--rules", default="R1,R2,R3,R4",
+    parser.add_argument("--rules", default="R1,R2,R3,R4,R5",
                         help="comma-separated subset of rules to run (default: all)")
     parser.add_argument("--list-metrics", action="store_true",
                         help="print the metric names emitted under src/ and exit")
@@ -253,7 +288,7 @@ def main() -> int:
         return 0
 
     rules = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
-    unknown = rules - {"R1", "R2", "R3", "R4"}
+    unknown = rules - {"R1", "R2", "R3", "R4", "R5"}
     if unknown:
         print(f"gflint: error: unknown rule(s): {', '.join(sorted(unknown))}",
               file=sys.stderr)
@@ -277,6 +312,8 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         findings += rule_mirrors(src)
+    if "R5" in rules:
+        findings += rule_tenant_labels(src)
 
     for f in findings:
         print(f)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate (or check) the EXPERIMENTS.md critical-path breakdown table.
 
-Reads BENCH_critical_path.json (a gflink.run_report/v2 written by
+Reads BENCH_critical_path.json (a gflink.run_report/v3 written by
 bench/bench_critical_path, with tracing on), takes the `critical_path`
 section — the last-finisher attribution of the PageRank makespan to span
 categories — and renders the markdown table between the
