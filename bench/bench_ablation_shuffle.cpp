@@ -1,86 +1,78 @@
-// Ablation — exchange modes of the block-granular ShuffleService on the
-// shuffle-dominated workload (PageRank, paper Fig. 5b):
+// Ablation — the three exchange transports of the ShuffleService on the
+// shuffle-dominated workload (PageRank, paper Fig. 5b), under both a
+// uniform and a Zipf-skewed key distribution:
 //
-//  * barrier          — each task ships its buckets serially and holds its
-//    slot until the last byte lands (the pre-ShuffleService behaviour);
-//  * pipelined        — bucket sends detach: the slot frees while the NIC
-//    drains and sends toward distinct receivers overlap (GFlink's
-//    compute/transfer overlap applied to the shuffle path);
-//  * pipelined+spill  — pipelined, plus a deliberately tight receiver
-//    budget so part of every exchange spills to the DFS and is read back
-//    at merge time (the memory-constrained configuration).
+//  * barrier    — each task ships its buckets serially and holds its slot
+//    until the last byte lands (the pre-ShuffleService behaviour);
+//  * pipelined  — bucket sends detach: the slot frees while the NIC drains
+//    and credit-bounded block sends toward distinct receivers overlap
+//    (GFlink's compute/transfer overlap applied to the shuffle path);
+//  * one_sided  — the RDMA-style transport: histogram exchange, remote
+//    fetch-add offset reservations into pre-sized receive regions, bulk
+//    one-sided writes over the HCA pipes, and a fetch-add completion
+//    counter as the barrier (no credits, no per-block ACKs).
 //
-// Expected ordering (total job seconds): pipelined < barrier, and
-// pipelined+spill slower than pipelined (spill I/O) but still exchanging
-// under a bounded receiver footprint. tools/gen_shuffle_table.py turns the
+// Distributions: "uniform" draws link targets uniformly; "skewed" uses the
+// Zipf-like hot-page generator (pagerank::Config::zipf_shift), which piles
+// messages onto few hot keys — map-side combine then collapses them, so
+// the skewed exchange moves fewer but more unbalanced buckets.
+//
+// Expected ordering (total job seconds, both distributions):
+// one_sided < pipelined < barrier. tools/gen_shuffle_table.py turns the
 // gauges recorded here into the EXPERIMENTS.md ablation table.
 #include "bench_common.hpp"
+#include "shuffle/shuffle_service.hpp"
 #include "workloads/pagerank.hpp"
 
 namespace {
 
 using namespace gflink::bench;
+namespace sh = gflink::shuffle;
 
-enum class ShuffleMode : int { Barrier, Pipelined, PipelinedSpill };
+constexpr sh::ShuffleMode kModes[] = {sh::ShuffleMode::Barrier, sh::ShuffleMode::Pipelined,
+                                      sh::ShuffleMode::OneSided};
+constexpr const char* kDists[] = {"uniform", "skewed"};
 
-const char* mode_key(ShuffleMode m) {
-  switch (m) {
-    case ShuffleMode::Barrier: return "barrier";
-    case ShuffleMode::Pipelined: return "pipelined";
-    case ShuffleMode::PipelinedSpill: return "pipelined+spill";
-  }
-  return "?";
-}
-
-double measure(ShuffleMode mode) {
+double measure(sh::ShuffleMode mode, bool skewed) {
   wl::Testbed tb;  // 10 workers, CPU path: the shuffle is the bottleneck
+  tb.shuffle_mode = mode;
   df::EngineConfig cfg = wl::make_engine_config(tb);
-  switch (mode) {
-    case ShuffleMode::Barrier:
-      cfg.shuffle.pipelined = false;
-      cfg.shuffle.spill_enabled = false;
-      break;
-    case ShuffleMode::Pipelined:
-      cfg.shuffle.spill_enabled = false;
-      break;
-    case ShuffleMode::PipelinedSpill:
-      // ~16 MB full-scale per receiver: far below PageRank's per-iteration
-      // message volume, so every exchange spills part of its deposits.
-      cfg.shuffle.receiver_budget_bytes = std::max<std::uint64_t>(
-          1024, static_cast<std::uint64_t>((16.0 * (1 << 20)) * tb.scale));
-      break;
-  }
+  cfg.shuffle.spill_enabled = false;  // isolate the transport, not the budget
 
   df::Engine engine(cfg);
   wl::pagerank::Config pcfg;  // defaults: 10 M pages, 5 iterations
+  if (skewed) pcfg.zipf_shift = 2;
   wl::pagerank::Result result;
   engine.run([&](df::Engine& eng) -> gflink::sim::Co<void> {
     result = co_await wl::pagerank::run(eng, nullptr, tb, wl::Mode::Cpu, pcfg);
   });
 
+  const char* dist = kDists[skewed ? 1 : 0];
   gflink::obs::RunReport& rep = bench_report();
   rep.virtual_ns += engine.now();
   engine.export_metrics(rep.metrics);
   rep.metrics.inc("bench_cases_total");
   const double secs = full_seconds(result.run.total, tb);
-  rep.metrics.gauge("ablation_shuffle_seconds", {{"mode", mode_key(mode)}}).set(secs);
-  rep.metrics.gauge("ablation_shuffle_checksum", {{"mode", mode_key(mode)}})
-      .set(result.run.checksum);
+  const gflink::obs::Labels labels{{"mode", sh::shuffle_mode_name(mode)}, {"dist", dist}};
+  rep.metrics.gauge("ablation_shuffle_seconds", labels).set(secs);
+  rep.metrics.gauge("ablation_shuffle_checksum", labels).set(result.run.checksum);
   return secs;
 }
 
 void Ablation_Shuffle(benchmark::State& state) {
-  const auto mode = static_cast<ShuffleMode>(state.range(0));
+  const auto mode = kModes[state.range(0)];
+  const bool skewed = state.range(1) != 0;
   for (auto _ : state) {
-    const double secs = measure(mode);
+    const double secs = measure(mode, skewed);
     wl::Testbed tb;
     state.SetIterationTime(secs * tb.scale);  // simulated seconds
     state.counters["full_s"] = secs;
   }
-  state.SetLabel(mode_key(mode));
+  state.SetLabel(std::string(sh::shuffle_mode_name(mode)) + "/" + kDists[skewed ? 1 : 0]);
 }
 BENCHMARK(Ablation_Shuffle)
-    ->Arg(0)->Arg(1)->Arg(2)
+    ->Args({0, 0})->Args({1, 0})->Args({2, 0})
+    ->Args({0, 1})->Args({1, 1})->Args({2, 1})
     ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/thread_annotations.hpp"
@@ -44,6 +45,15 @@ struct NicSpec {
   Duration latency = sim::micros(80);
 };
 
+/// RDMA-capable HCA, distinct from the commodity Ethernet NIC: one-sided
+/// verbs (remote write, remote fetch-add) bypass the remote CPU entirely
+/// and run at InfiniBand-class latency/bandwidth. Defaults model FDR-era
+/// hardware (56 Gb/s links, ~2 us one-way verb latency).
+struct RdmaNicSpec {
+  double bandwidth = 6.0e9;         // bytes/s (56 Gb/s FDR effective)
+  Duration latency = sim::micros(2);
+};
+
 struct DiskSpec {
   double read_bandwidth = 150.0e6;  // bytes/s
   double write_bandwidth = 120.0e6;
@@ -53,6 +63,7 @@ struct DiskSpec {
 struct NodeSpec {
   CpuSpec cpu;
   NicSpec nic;
+  RdmaNicSpec rdma;
   DiskSpec disk;
 };
 
@@ -184,10 +195,14 @@ class Node {
 
   Pipe& egress() { return egress_; }
   Pipe& ingress() { return ingress_; }
+  Pipe& rdma_tx() { return rdma_tx_; }
+  Pipe& rdma_rx() { return rdma_rx_; }
   Pipe& disk_read() { return disk_read_; }
   Pipe& disk_write() { return disk_write_; }
   const Pipe& egress() const { return egress_; }
   const Pipe& ingress() const { return ingress_; }
+  const Pipe& rdma_tx() const { return rdma_tx_; }
+  const Pipe& rdma_rx() const { return rdma_rx_; }
   const Pipe& disk_read() const { return disk_read_; }
   const Pipe& disk_write() const { return disk_write_; }
 
@@ -201,6 +216,8 @@ class Node {
   NodeSpec spec_;
   Pipe egress_;
   Pipe ingress_;
+  Pipe rdma_tx_;  // one-sided verb initiator side (HCA send engine)
+  Pipe rdma_rx_;  // one-sided verb target side (remote HCA, no remote CPU)
   Pipe disk_read_;
   Pipe disk_write_;
 };
@@ -249,6 +266,27 @@ class Cluster {
   /// Small control message (RPC): latency only, no bandwidth occupation.
   sim::Co<void> message(int src, int dst);
 
+  /// One-sided RDMA-style write of `bytes` from `src` into `dst`'s memory
+  /// at `offset` (a registered-region address; modelling-only — the bytes
+  /// themselves travel through the shuffle deposit path). Occupies both
+  /// HCAs (tx then rx, same deadlock-free order as transfer) but involves
+  /// no remote CPU. Local writes are free.
+  sim::Co<void> remote_write(int src, int dst, std::uint64_t offset, std::uint64_t bytes,
+                             const std::string& label = {}, obs::SpanLink link = {});
+
+  /// One-sided atomic fetch-add on counter `counter` in `dst`'s memory.
+  /// Pays one RDMA round trip (request + response latency, no bandwidth);
+  /// the read-modify-write itself is atomic — concurrent initiators are
+  /// serialized by the target HCA, so the returned pre-add values are
+  /// unique reservations. Local fetch-adds are free.
+  sim::Co<std::uint64_t> remote_fetch_add(int src, int dst, std::uint64_t counter,
+                                          std::uint64_t delta);
+
+  /// Read a remote-atomics counter in `node`'s own memory (the owner
+  /// polling local memory is free; remote pollers pay message latency
+  /// themselves). Unwritten counters read as zero.
+  std::uint64_t rdma_counter(int node, std::uint64_t counter) const;
+
  private:
   sim::Simulation* sim_;
   bool colocated_master_ = false;
@@ -257,6 +295,10 @@ class Cluster {
   obs::SpanStore spans_;        // causal span DAG (simulation-plane)
   obs::FlightRecorder flight_;  // always-on bounded post-mortem rings
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Per-node named fetch-add counters (remote_fetch_add targets).
+  /// Simulation-plane state like spans_: mutated only between suspension
+  /// points of the one simulation thread, so it carries no lock.
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> rdma_counters_;
 };
 
 }  // namespace gflink::net

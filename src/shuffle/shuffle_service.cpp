@@ -18,6 +18,28 @@ int target_partition(std::uint64_t key, int partitions) {
 
 }  // namespace
 
+const char* shuffle_mode_name(ShuffleMode mode) {
+  switch (mode) {
+    case ShuffleMode::Barrier: return "barrier";
+    case ShuffleMode::Pipelined: return "pipelined";
+    case ShuffleMode::OneSided: return "one_sided";
+  }
+  return "unknown";
+}
+
+bool parse_shuffle_mode(const std::string& text, ShuffleMode* out) {
+  if (text == "barrier") {
+    *out = ShuffleMode::Barrier;
+  } else if (text == "pipelined") {
+    *out = ShuffleMode::Pipelined;
+  } else if (text == "one_sided") {
+    *out = ShuffleMode::OneSided;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 // ---- ShuffleService --------------------------------------------------------
 
 ShuffleService::ShuffleService(sim::Simulation& sim, net::Cluster& cluster, dfs::Gdfs& dfs,
@@ -105,6 +127,31 @@ sim::Co<bool> ShuffleService::transfer_block(int src, int dst, std::uint64_t byt
   }
 }
 
+sim::Co<bool> ShuffleService::one_sided_write(int src, int dst, std::uint64_t offset,
+                                              std::uint64_t bytes, const std::string& label,
+                                              obs::SpanLink link) {
+  obs::MetricsRegistry& m = metrics();
+  for (int attempt = 0;; ++attempt) {
+    if (consume_injected_fault()) {
+      m.inc("shuffle.transfer_faults");
+      cluster_->flight().note_fault(sim_->now(), src, "shuffle_transfer_fault",
+                                    label + " one-sided write to node" + std::to_string(dst));
+      if (attempt >= config_.max_retries) {
+        m.inc("shuffle.transfer_aborts");
+        cluster_->flight().note_event(sim_->now(), src, "shuffle_transfer_abort",
+                                      label + " retry budget exhausted");
+        co_return false;
+      }
+      m.inc("shuffle.transfer_retries");
+      const int shift = std::min(attempt, 10);
+      co_await sim_->delay(config_.retry_backoff << shift);
+      continue;
+    }
+    co_await cluster_->remote_write(src, dst, offset, bytes, label, link);
+    co_return true;
+  }
+}
+
 // ---- ShuffleSession --------------------------------------------------------
 
 ShuffleSession::ShuffleSession(ShuffleService& service, int out_partitions, std::string label,
@@ -173,11 +220,15 @@ std::vector<mem::RecordBatch> ShuffleSession::partition(const mem::RecordBatch& 
 
 sim::Co<void> ShuffleSession::send(int src_worker, std::vector<mem::RecordBatch> buckets) {
   GFLINK_CHECK(static_cast<int>(buckets.size()) == out_partitions_);
+  if (service_->config().mode == ShuffleMode::OneSided) {
+    co_await send_one_sided(src_worker, std::move(buckets));
+    co_return;
+  }
   for (int t = 0; t < out_partitions_; ++t) {
     auto& bucket = buckets[static_cast<std::size_t>(t)];
     if (bucket.empty()) continue;
     begin_send();
-    if (service_->config().pipelined) {
+    if (service_->config().mode == ShuffleMode::Pipelined) {
       // Detach the bucket send: the caller's task slot frees while the NIC
       // drains, and sends toward distinct receivers overlap each other.
       service_->sim().spawn([](ShuffleSession& s, int src, int target,
@@ -213,7 +264,7 @@ sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucke
                 "node" + std::to_string(src) + "/shuffle", src);
     const std::uint64_t block = std::max<std::uint64_t>(1, service_->config().block_bytes);
     sim::Semaphore& credit = *credits_[static_cast<std::size_t>(t)];
-    if (service_->config().pipelined) {
+    if (service_->config().mode == ShuffleMode::Pipelined) {
       // Blocks of the bucket overlap each other (a block's egress runs
       // while its predecessor drains the receiver's ingress), bounded by
       // the credit window.
@@ -291,6 +342,130 @@ sim::Co<void> ShuffleSession::send_bucket(int src, int t, mem::RecordBatch bucke
   if (end_send() && drained_) drained_->fire();
 }
 
+sim::Co<void> ShuffleSession::send_one_sided(int src, std::vector<mem::RecordBatch> buckets) {
+  net::Cluster& cluster = service_->cluster();
+  obs::SpanStore& sp = cluster.spans();
+  obs::MetricsRegistry& m = service_->metrics();
+  if (one_sided_.empty()) {
+    one_sided_.resize(static_cast<std::size_t>(cluster.num_workers()) + 1);
+  }
+  // Histogram phase: announce this sender's per-partition sizes to every
+  // destination it targets (one control message each), then reserve a
+  // disjoint slice of each destination's receive region with a remote
+  // fetch-add on the region cursor — the arrival-order prefix sum over all
+  // senders' histograms. The reservations fix expected_writes before any
+  // write can retire, so the counts the finish() barrier polls against are
+  // exact.
+  const sim::Time hist_begin = service_->sim().now();
+  obs::SpanId hist_span = 0;
+  std::vector<std::uint64_t> offsets(buckets.size(), 0);
+  std::vector<char> announced(one_sided_.size(), 0);
+  for (int t = 0; t < out_partitions_; ++t) {
+    const auto& bucket = buckets[static_cast<std::size_t>(t)];
+    const int dst = service_->owner_of(t);
+    // Must mirror one_sided_bucket's network condition exactly: every
+    // announced write signals the done counter exactly once.
+    if (bucket.byte_size() == 0 || dst == src) continue;
+    if (hist_span == 0) {
+      hist_span = sp.open("shuffle:histogram", obs::SpanCategory::Shuffle, span_, hist_begin,
+                          "node" + std::to_string(src) + "/shuffle", src);
+    }
+    if (!announced[static_cast<std::size_t>(dst)]) {
+      announced[static_cast<std::size_t>(dst)] = 1;
+      m.inc("shuffle.one_sided_histograms");
+      co_await cluster.message(src, dst);
+    }
+    const std::uint64_t bytes = bucket.byte_size();
+    offsets[static_cast<std::size_t>(t)] =
+        co_await cluster.remote_fetch_add(src, dst, region_counter(), bytes);
+    auto& peer = one_sided_[static_cast<std::size_t>(dst)];
+    ++peer.expected_writes;
+    peer.announced_bytes += bytes;
+  }
+  if (hist_span != 0) sp.close(hist_span, service_->sim().now());
+  // Write phase: detached bulk writes straight into the reserved offsets —
+  // no credits, no per-block ACKs; the task slot frees while the HCAs
+  // drain. Local buckets skip the network inside one_sided_bucket.
+  for (int t = 0; t < out_partitions_; ++t) {
+    auto& bucket = buckets[static_cast<std::size_t>(t)];
+    if (bucket.empty()) continue;
+    begin_send();
+    service_->sim().spawn([](ShuffleSession& s, int from, int target, std::uint64_t off,
+                             mem::RecordBatch b) -> sim::Co<void> {
+      co_await s.one_sided_bucket(from, target, off, std::move(b));
+    }(*this, src, t, offsets[static_cast<std::size_t>(t)], std::move(bucket)));
+  }
+}
+
+sim::Co<void> ShuffleSession::one_sided_bucket(int src, int t, std::uint64_t offset,
+                                               mem::RecordBatch bucket) {
+  const int dst = service_->owner_of(t);
+  const std::uint64_t bytes = bucket.byte_size();
+  obs::MetricsRegistry& m = service_->metrics();
+  const sim::Time begin = service_->sim().now();
+  bool ok = true;
+  if (dst != src && bytes > 0) {
+    {
+      core::MutexLock lock(mu_);
+      network_bytes_ += bytes;
+    }
+    obs::SpanStore& sp = service_->cluster().spans();
+    const obs::SpanId write_span =
+        sp.open("shuffle:one_sided_write", obs::SpanCategory::Shuffle, span_, begin,
+                "node" + std::to_string(src) + "/shuffle", src);
+    service_->block_started();
+    ok = co_await service_->one_sided_write(src, dst, offset, bytes, label_,
+                                            {write_span, obs::SpanCategory::Shuffle});
+    service_->block_finished();
+    if (ok) {
+      m.inc("shuffle.one_sided_writes");
+      m.inc("shuffle.one_sided_bytes", static_cast<double>(bytes));
+    }
+    // Completion signal: bump the destination's done counter whether the
+    // write landed or aborted — the barrier counts retired attempts (an
+    // abort is reported loudly by finish(); a barrier that never resolves
+    // would hang it instead).
+    co_await service_->cluster().remote_fetch_add(src, dst, done_counter(), 1);
+    sp.close(write_span, service_->sim().now());
+    sim::Tracer& tracer = service_->cluster().tracer();
+    if (tracer.enabled()) {
+      tracer.record("node" + std::to_string(src) + "/shuffle",
+                    label_ + " p" + std::to_string(t), begin, service_->sim().now());
+    }
+  }
+  if (ok) {
+    co_await deposit(t, dst, std::move(bucket));
+  } else {
+    core::MutexLock lock(mu_);
+    ++aborted_blocks_;  // finish() turns this into a loud failure
+  }
+  if (end_send() && drained_) drained_->fire();
+}
+
+sim::Co<void> ShuffleSession::one_sided_barrier() {
+  net::Cluster& cluster = service_->cluster();
+  const sim::Time begin = service_->sim().now();
+  for (std::size_t n = 0; n < one_sided_.size(); ++n) {
+    const OneSidedDst& peer = one_sided_[n];
+    if (peer.expected_writes == 0) continue;
+    const int dst = static_cast<int>(n);
+    // Each receiver polls its own completion counter — local memory reads
+    // are free, so the cost is purely the wait for outstanding writes.
+    const sim::Duration poll =
+        std::max<sim::Duration>(1, cluster.node(dst).spec().rdma.latency);
+    while (cluster.rdma_counter(dst, done_counter()) < peer.expected_writes) {
+      co_await service_->sim().delay(poll);
+    }
+    GFLINK_CHECK_MSG(cluster.rdma_counter(dst, region_counter()) == peer.announced_bytes,
+                     "one-sided receive-region cursor disagrees with the announced histograms");
+    const sim::Time end = service_->sim().now();
+    if (end > begin) {
+      cluster.spans().record("shuffle:one_sided_barrier", obs::SpanCategory::Wait, span_, begin,
+                             end, "node" + std::to_string(dst) + "/shuffle", dst);
+    }
+  }
+}
+
 sim::Co<void> ShuffleSession::deposit(int t, int dst, mem::RecordBatch bucket) {
   const ShuffleConfig& cfg = service_->config();
   const std::uint64_t bytes = bucket.byte_size();
@@ -319,6 +494,10 @@ sim::Co<void> ShuffleSession::deposit(int t, int dst, mem::RecordBatch bucket) {
 }
 
 sim::Co<void> ShuffleSession::finish() {
+  // One-sided mode first waits on the fetch-add completion counters (the
+  // transport's own barrier), then falls through to the drain trigger that
+  // covers the deposit/spill tail of each write coroutine.
+  if (service_->config().mode == ShuffleMode::OneSided) co_await one_sided_barrier();
   bool pending;
   {
     core::MutexLock lock(mu_);

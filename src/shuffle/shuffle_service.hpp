@@ -1,27 +1,38 @@
-// The pipelined shuffle subsystem (paper §4–§5: bulk block transfers that
-// overlap compute).
+// The shuffle subsystem (paper §4–§5: bulk block transfers that overlap
+// compute).
 //
-// A ShuffleService turns the engine's all-to-all exchanges into
-// block-granular, credit-controlled transfers over the cluster NIC pipes:
+// A ShuffleService turns the engine's all-to-all exchanges into transfers
+// over the cluster's network model, with three transports (ShuffleMode):
 //
 //  * senders bucket records by key hash (with optional map-side combine,
 //    performed on the raw GStruct bytes — no serialization boundary);
-//  * each bucket is cut into fixed-size blocks; every block acquires one
+//  * `barrier` — buckets are cut into fixed-size blocks shipped serially
+//    inside the sending task over the 1 GbE NIC pipes (the pre-refactor
+//    behaviour, kept as the ablation baseline);
+//  * `pipelined` (default) — the same blocks, but every block acquires one
 //    in-flight credit for its target partition before it may enter the
-//    network, so a slow receiver throttles its senders (backpressure)
-//    instead of accumulating unbounded buffers;
-//  * in pipelined mode block sends are detached coroutines: the task slot
-//    is released while the NIC drains, so network transfer overlaps the
-//    downstream partition compute instead of running as a per-task barrier;
-//  * a receiver whose exchange buffer exceeds its byte budget spills
-//    deposited buckets to the DFS and reads them back at merge time;
-//  * injected transfer faults (the hook the fault framework of
-//    tests/test_fault.cpp uses) are retried with exponential backoff.
+//    network (a slow receiver throttles its senders instead of
+//    accumulating unbounded buffers), and block sends are detached
+//    coroutines: the task slot is released while the NIC drains, so
+//    network transfer overlaps the downstream partition compute;
+//  * `one_sided` — the RDMA-style transport: senders build per-destination
+//    histograms, announce them with control messages, reserve disjoint
+//    offsets in each receiver's pre-sized receive region via remote
+//    fetch-add (the arrival-order prefix sum), then land whole buckets
+//    with one-sided writes over the RdmaNicSpec HCA pipes. There are no
+//    credits and no per-block ACKs; completion is a remote fetch-add
+//    counter that finish() polls as the barrier;
+//  * in every mode a receiver whose exchange buffer exceeds its byte
+//    budget spills deposited buckets to the DFS and reads them back at
+//    merge time, and injected transfer faults (the hook the fault
+//    framework of tests/test_fault.cpp uses) are retried with exponential
+//    backoff.
 //
 // One ShuffleSession is one exchange: `partition` + `send` on the map side,
 // `finish` as the stage barrier, `take` on the reduce side. The service is
 // long-lived (one per Engine) and owns the config, metrics and fault hooks
-// shared by all sessions.
+// shared by all sessions. docs/ARCHITECTURE.md#shuffle-transports has the
+// sequence diagrams for all three modes.
 #pragma once
 
 #include <functional>
@@ -43,6 +54,16 @@ using KeyFn = std::function<std::uint64_t(const std::byte*)>;
 /// In-place associative combine: fold `record` into `accumulator`.
 using CombineFn = std::function<void(std::byte*, const std::byte*)>;
 
+/// Exchange transport (see the file comment for the three designs).
+enum class ShuffleMode { Barrier, Pipelined, OneSided };
+
+/// Stable string keys ("barrier", "pipelined", "one_sided") shared by the
+/// CLI, the ablation bench and bench/baselines.json.
+const char* shuffle_mode_name(ShuffleMode mode);
+/// Parse a stable string key; returns false (and leaves `out` alone) on an
+/// unknown key.
+bool parse_shuffle_mode(const std::string& text, ShuffleMode* out);
+
 struct ShuffleConfig {
   /// Granularity of network sends. Buckets larger than this are cut into
   /// multiple blocks whose transfers pipeline through the NIC pipes.
@@ -53,10 +74,10 @@ struct ShuffleConfig {
   /// Per-receiver exchange-buffer budget. Deposits beyond this spill to the
   /// DFS (when `spill_enabled`) and are read back at merge time.
   std::uint64_t receiver_budget_bytes = 1ULL << 30;
-  /// Detached (pipelined) block sends overlap downstream compute; disabled
-  /// they run as a barrier inside the sending task (the pre-ShuffleService
-  /// behaviour, kept as the ablation baseline).
-  bool pipelined = true;
+  /// Which transport ships the buckets (see ShuffleMode). Pipelined is the
+  /// default; Barrier is the pre-ShuffleService ablation baseline; OneSided
+  /// is the RDMA-style histogram + one-sided-write exchange.
+  ShuffleMode mode = ShuffleMode::Pipelined;
   bool spill_enabled = true;
   /// Retry budget for injected transfer faults. A block send that faults
   /// more than `max_retries` times aborts the shuffle (checked loudly at
@@ -97,8 +118,10 @@ class ShuffleSession {
 
   /// Ship every non-empty bucket from `src_worker` toward its target
   /// partition's owner. Pipelined mode returns once the sends are detached;
-  /// barrier mode awaits every transfer. Bytes that cross the network are
-  /// accounted here — and only here (see network_bytes()).
+  /// barrier mode awaits every transfer; one-sided mode awaits the
+  /// histogram exchange + offset reservations and detaches the bulk
+  /// writes. Bytes that cross the network are accounted here — and only
+  /// here (see network_bytes()).
   sim::Co<void> send(int src_worker, std::vector<mem::RecordBatch> buckets);
 
   /// Deposit a bucket for partition `t` without any network or spill
@@ -136,6 +159,13 @@ class ShuffleSession {
   };
 
   sim::Co<void> send_bucket(int src, int t, mem::RecordBatch bucket);
+  /// One-sided transport: histogram announcement + offset reservation, then
+  /// detached bulk writes (no credits, no per-block ACKs).
+  sim::Co<void> send_one_sided(int src, std::vector<mem::RecordBatch> buckets);
+  sim::Co<void> one_sided_bucket(int src, int t, std::uint64_t offset, mem::RecordBatch bucket);
+  /// finish()'s completion barrier: poll each destination's done counter
+  /// until it reaches the histogram-announced write count.
+  sim::Co<void> one_sided_barrier();
   sim::Co<void> deposit(int t, int dst, mem::RecordBatch bucket);
 
   /// Credit accounting around one detached bucket send: end_send() returns
@@ -155,6 +185,18 @@ class ShuffleSession {
   std::vector<std::vector<Deposit>> buckets_;
   std::vector<std::unique_ptr<sim::Semaphore>> credits_;  // per target partition
   std::unique_ptr<sim::Trigger> drained_;  // created lazily by finish()
+  /// Per-destination one-sided exchange state (simulation-plane, like
+  /// buckets_). Histogram announcements fix expected_writes before any
+  /// write can retire, so the counts finish() polls against are exact.
+  struct OneSidedDst {
+    std::uint64_t expected_writes = 0;  // buckets announced toward this node
+    std::uint64_t announced_bytes = 0;  // histogram total = final region cursor
+  };
+  std::vector<OneSidedDst> one_sided_;  // indexed by destination node id
+  /// Receive-region allocation cursor and completion counter in each
+  /// destination's memory, namespaced by session id.
+  std::uint64_t region_counter() const { return id_ * 2; }
+  std::uint64_t done_counter() const { return id_ * 2 + 1; }
   /// Guards the session's byte/credit accounting (leaf lock; never held
   /// across a co_await — every mutation sits in a synchronous section).
   mutable core::Mutex mu_;
@@ -211,6 +253,11 @@ class ShuffleService {
   /// NIC-pipe causal spans.
   sim::Co<bool> transfer_block(int src, int dst, std::uint64_t bytes, const std::string& label,
                                obs::SpanLink link = {});
+
+  /// One bulk one-sided write over the HCA pipes, retrying injected faults
+  /// with the same backoff/abort policy as transfer_block.
+  sim::Co<bool> one_sided_write(int src, int dst, std::uint64_t offset, std::uint64_t bytes,
+                                const std::string& label, obs::SpanLink link = {});
 
   void block_started() GFLINK_EXCLUDES(mu_);
   void block_finished() GFLINK_EXCLUDES(mu_);

@@ -22,6 +22,8 @@ df::EngineConfig make_engine_config(const Testbed& tb) {
   node.cpu.record_overhead = 50;           // iterator + virtual dispatch
   node.nic.bandwidth = 117.0e6;            // 1 GbE effective
   node.nic.latency = scaled(sim::micros(80), s);
+  node.rdma.bandwidth = 6.0e9;             // 56 Gb/s FDR effective
+  node.rdma.latency = scaled(sim::micros(2), s);
   node.disk.read_bandwidth = 150.0e6;
   node.disk.write_bandwidth = 120.0e6;
   node.disk.access_latency = scaled(sim::millis(4), s);
@@ -51,6 +53,7 @@ df::EngineConfig make_engine_config(const Testbed& tb) {
   cfg.shuffle.receiver_budget_bytes = std::max<std::uint64_t>(
       64 * 1024, static_cast<std::uint64_t>(4.0e9 * s));
   cfg.shuffle.retry_backoff = scaled(sim::millis(100), s);
+  cfg.shuffle.mode = tb.shuffle_mode;
 
   cfg.trace = tb.trace;
   return cfg;

@@ -54,6 +54,9 @@ struct Testbed {
   std::uint64_t full_chunk_bytes = 1 << 20;
   /// Device staging-ring depth (chunks in flight per stream).
   int staging_slots = 3;
+  /// Exchange transport for every shuffled edge (barrier / pipelined /
+  /// one_sided — the CLI's --shuffle-mode).
+  shuffle::ShuffleMode shuffle_mode = shuffle::ShuffleMode::Pipelined;
   bool trace = false;
 };
 

@@ -1,5 +1,7 @@
 #include "workloads/pagerank.hpp"
 
+#include <algorithm>
+
 #include "core/gdst.hpp"
 
 namespace gflink::workloads::pagerank {
@@ -22,13 +24,28 @@ const df::OpCost kCombineCostGpu{60.0, 2.0 * sizeof(RankMsg)};
 
 }  // namespace
 
-Page page_at(std::uint64_t id, std::uint64_t n, std::uint64_t seed) {
+Page page_at(std::uint64_t id, std::uint64_t n, std::uint64_t seed, int zipf_shift) {
   Page p;
   p.id = id;
   std::uint64_t h = id * 0x9e3779b97f4a7c15ULL + seed;
   for (int j = 0; j < kOutDegree; ++j) {
     h = h * 6364136223846793005ULL + 1442695040888963407ULL;
-    p.out[j] = (h >> 16) % n;
+    std::uint64_t range = n;
+    if (zipf_shift > 0) {
+      // Zipf-like hot-page skew in pure integer math (determinism): a
+      // geometric(1/2) level drawn from the hash's low bits shrinks the
+      // target range by zipf_shift bits per level, piling link mass onto
+      // low page ids with power-law-ish frequencies.
+      int level = 0;
+      std::uint64_t g = h;
+      while ((g & 1) != 0 && level < 20) {
+        g >>= 1;
+        ++level;
+      }
+      const int shift = std::min(level * zipf_shift, 48);
+      range = std::max<std::uint64_t>(1, n >> shift);
+    }
+    p.out[j] = (h >> 16) % range;
   }
   return p;
 }
@@ -95,10 +112,11 @@ sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Test
 
   auto source = df::DataSet<Page>::from_generator(
       engine, &page_desc(), partitions,
-      [n, partitions, seed = config.seed](int part, std::vector<Page>& out) {
+      [n, partitions, seed = config.seed, zipf = config.zipf_shift](int part,
+                                                                    std::vector<Page>& out) {
         for (std::uint64_t i = static_cast<std::uint64_t>(part); i < n;
              i += static_cast<std::uint64_t>(partitions)) {
-          out.push_back(page_at(i, n, seed));
+          out.push_back(page_at(i, n, seed, zipf));
         }
       },
       df::OpCost{10.0, sizeof(Page)}, path);

@@ -19,6 +19,11 @@ struct Config {
   double damping = 0.85;
   bool write_output = true;
   std::uint64_t seed = 23;
+  /// Link-target skew: 0 draws targets uniformly; k > 0 concentrates links
+  /// on low page ids with Zipf-like mass (each geometric(1/2) level
+  /// shrinks the target range by k bits — see page_at). The shuffle-
+  /// ablation bench uses this as its "skewed" key distribution.
+  int zipf_shift = 0;
 };
 
 struct Result {
@@ -26,7 +31,7 @@ struct Result {
   std::vector<double> ranks;  // truncated probe of the final ranks
 };
 
-Page page_at(std::uint64_t id, std::uint64_t n, std::uint64_t seed);
+Page page_at(std::uint64_t id, std::uint64_t n, std::uint64_t seed, int zipf_shift = 0);
 
 df::DataSet<RankMsg> mapper(const df::DataSet<Page>& pages, Mode mode,
                             std::shared_ptr<std::vector<float>> ranks,

@@ -102,11 +102,17 @@ std::map<std::uint64_t, std::int64_t> reference(const std::vector<KV>& input,
 }
 
 /// Random exchange configuration: exercises the pipelined block path with
-/// tiny blocks and credit windows, tight spill budgets, and the barrier
-/// fallback. Results must be identical in every mode.
+/// tiny blocks and credit windows, tight spill budgets, the barrier
+/// fallback, and the one-sided RDMA-style exchange. Results must be
+/// identical in every mode.
 gflink::shuffle::ShuffleConfig random_shuffle_config(sim::Rng& rng) {
+  using gflink::shuffle::ShuffleMode;
   gflink::shuffle::ShuffleConfig cfg;
-  cfg.pipelined = rng.next_below(4) != 0;  // mostly the pipelined path
+  switch (rng.next_below(4)) {
+    case 0: cfg.mode = ShuffleMode::Barrier; break;
+    case 1: cfg.mode = ShuffleMode::OneSided; break;
+    default: cfg.mode = ShuffleMode::Pipelined; break;
+  }
   cfg.block_bytes = 1ULL << (4 + rng.next_below(8));
   cfg.credits_per_partition = 1 + static_cast<int>(rng.next_below(4));
   cfg.spill_enabled = rng.next_below(2) == 0;
@@ -197,8 +203,9 @@ TEST_P(PlanFuzz, RandomChainsMatchReference) {
   const auto actual =
       run_engine(input, ops, key_mod, workers, partitions, shuffle, faults);
   EXPECT_EQ(actual, expected) << "seed " << GetParam() << ", ops " << ops.size() << ", workers "
-                              << workers << ", partitions " << partitions << ", pipelined "
-                              << shuffle.pipelined << ", spill " << shuffle.spill_enabled;
+                              << workers << ", partitions " << partitions << ", mode "
+                              << gflink::shuffle::shuffle_mode_name(shuffle.mode) << ", spill "
+                              << shuffle.spill_enabled;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzz, ::testing::Range(0, 20));

@@ -262,11 +262,12 @@ TEST(Shuffle, EngineRetriesInjectedFaultsToExactResult) {
   EXPECT_EQ(m.counter_value("shuffle.transfer_aborts"), 0.0);
 }
 
-TEST(Shuffle, BarrierAndPipelinedAgreeSpillOrNot) {
-  // The exchange mode is a pure scheduling choice: every mode produces the
-  // same reduced result, and pipelining is never slower than the barrier.
+TEST(Shuffle, AllTransportsAgreeSpillOrNot) {
+  // The exchange transport is a pure scheduling choice: every mode produces
+  // the same reduced result, pipelining is never slower than the barrier,
+  // and the one-sided RDMA-style exchange is never slower than pipelined.
   df::EngineConfig barrier_cfg = tiny_engine_config();
-  barrier_cfg.shuffle.pipelined = false;
+  barrier_cfg.shuffle.mode = sh::ShuffleMode::Barrier;
   barrier_cfg.shuffle.spill_enabled = false;
   df::Engine barrier(barrier_cfg);
   EXPECT_EQ(run_reduce_job(barrier), kExpectedTotal);
@@ -274,6 +275,15 @@ TEST(Shuffle, BarrierAndPipelinedAgreeSpillOrNot) {
   df::Engine pipelined(tiny_engine_config());
   EXPECT_EQ(run_reduce_job(pipelined), kExpectedTotal);
   EXPECT_LE(pipelined.now(), barrier.now());
+
+  df::EngineConfig one_sided_cfg = tiny_engine_config();
+  one_sided_cfg.shuffle.mode = sh::ShuffleMode::OneSided;
+  df::Engine one_sided(one_sided_cfg);
+  EXPECT_EQ(run_reduce_job(one_sided), kExpectedTotal);
+  EXPECT_LE(one_sided.now(), pipelined.now());
+  EXPECT_GT(one_sided.metrics().counter_value("shuffle.one_sided_writes"), 0.0);
+  EXPECT_GT(one_sided.metrics().counter_value("net.rdma_bytes"), 0.0);
+  EXPECT_EQ(one_sided.metrics().counter_value("shuffle.bytes"), 0.0);  // no block path
 
   df::EngineConfig spill_cfg = tiny_engine_config();
   spill_cfg.shuffle.receiver_budget_bytes = 256;

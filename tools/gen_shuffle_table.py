@@ -2,12 +2,14 @@
 """Regenerate (or check) the EXPERIMENTS.md shuffle-ablation table.
 
 Reads BENCH_ablation_shuffle.json (a gflink.run_report/v3 written by
-bench/bench_ablation_shuffle), renders the markdown table between the
-`<!-- shuffle-ablation:begin -->` / `<!-- shuffle-ablation:end -->` markers
-in EXPERIMENTS.md, and either rewrites the file in place (default) or, with
---check, fails if the committed numbers drift from the fresh run by more
-than --tolerance (relative) or if the pipelined mode is not strictly faster
-than the barrier mode.
+bench/bench_ablation_shuffle), renders the 3-transport x 2-distribution
+markdown table between the `<!-- shuffle-ablation:begin -->` /
+`<!-- shuffle-ablation:end -->` markers in EXPERIMENTS.md, and either
+rewrites the file in place (default) or, with --check, fails if the
+committed numbers drift from the fresh run by more than --tolerance
+(relative) per cell, or if the expected ordering does not hold: under both
+distributions, pipelined must be strictly faster than barrier and
+one_sided strictly faster than pipelined.
 
 Usage:
   tools/gen_shuffle_table.py --report BENCH_ablation_shuffle.json [--check]
@@ -19,42 +21,65 @@ import json
 import re
 import sys
 
-MODES = ["barrier", "pipelined", "pipelined+spill"]
+MODES = ["barrier", "pipelined", "one_sided"]
+DISTS = ["uniform", "skewed"]
 BEGIN = "<!-- shuffle-ablation:begin -->"
 END = "<!-- shuffle-ablation:end -->"
 
 
 def load_seconds(report_path):
+    """-> {(mode, dist): seconds}, failing if any of the 6 cells is absent."""
     with open(report_path) as f:
         report = json.load(f)
     seconds = {}
     for gauge in report.get("metrics", {}).get("gauges", []):
         if gauge.get("name") == "ablation_shuffle_seconds":
-            seconds[gauge.get("labels", {}).get("mode")] = float(gauge["value"])
-    missing = [m for m in MODES if m not in seconds]
+            labels = gauge.get("labels", {})
+            seconds[(labels.get("mode"), labels.get("dist"))] = float(gauge["value"])
+    missing = [f"{m}/{d}" for m in MODES for d in DISTS if (m, d) not in seconds]
     if missing:
-        sys.exit(f"error: {report_path} is missing modes {missing}; "
+        sys.exit(f"error: {report_path} is missing cells {missing}; "
                  "re-run bench_ablation_shuffle")
     return seconds
 
 
 def render_table(seconds):
-    barrier = seconds["barrier"]
     lines = [
-        "| Exchange mode | PageRank 10 M (full-scale s) | vs. barrier |",
-        "|---|---|---|",
+        "| Exchange transport | uniform (full-scale s) | vs. barrier "
+        "| skewed (full-scale s) | vs. barrier |",
+        "|---|---|---|---|---|",
     ]
     for mode in MODES:
-        ratio = seconds[mode] / barrier
-        lines.append(f"| {mode} | {seconds[mode]:.2f} | {ratio:.3f}x |")
+        cells = [mode]
+        for dist in DISTS:
+            ratio = seconds[(mode, dist)] / seconds[("barrier", dist)]
+            cells.append(f"{seconds[(mode, dist)]:.2f}")
+            cells.append(f"{ratio:.3f}x")
+        lines.append("| " + " | ".join(cells) + " |")
     return "\n".join(lines)
 
 
 def parse_committed(block):
+    """-> {(mode, dist): seconds} parsed back out of the committed table."""
     committed = {}
-    for match in re.finditer(r"^\| (\S[^|]*?) \| ([0-9.]+) \|", block, re.M):
-        committed[match.group(1).strip()] = float(match.group(2))
+    row = re.compile(r"^\| (\S[^|]*?) \| ([0-9.]+) \| [^|]* \| ([0-9.]+) \|", re.M)
+    for match in row.finditer(block):
+        mode = match.group(1).strip()
+        committed[(mode, "uniform")] = float(match.group(2))
+        committed[(mode, "skewed")] = float(match.group(3))
     return committed
+
+
+def check_ordering(seconds):
+    for dist in DISTS:
+        if seconds[("pipelined", dist)] >= seconds[("barrier", dist)]:
+            sys.exit(f"error: pipelined is not strictly faster than barrier under "
+                     f"{dist} keys ({seconds[('pipelined', dist)]:.3f} vs "
+                     f"{seconds[('barrier', dist)]:.3f} s)")
+        if seconds[("one_sided", dist)] >= seconds[("pipelined", dist)]:
+            sys.exit(f"error: one_sided is not strictly faster than pipelined under "
+                     f"{dist} keys ({seconds[('one_sided', dist)]:.3f} vs "
+                     f"{seconds[('pipelined', dist)]:.3f} s)")
 
 
 def main():
@@ -62,15 +87,13 @@ def main():
     ap.add_argument("--report", default="BENCH_ablation_shuffle.json")
     ap.add_argument("--experiments", default="EXPERIMENTS.md")
     ap.add_argument("--tolerance", type=float, default=0.05,
-                    help="allowed relative drift per mode in --check")
+                    help="allowed relative drift per cell in --check")
     ap.add_argument("--check", action="store_true",
                     help="fail on drift instead of rewriting the table")
     args = ap.parse_args()
 
     seconds = load_seconds(args.report)
-    if seconds["pipelined"] >= seconds["barrier"]:
-        sys.exit("error: pipelined mode is not strictly faster than barrier "
-                 f"({seconds['pipelined']:.3f} vs {seconds['barrier']:.3f} s)")
+    check_ordering(seconds)
 
     with open(args.experiments) as f:
         text = f.read()
@@ -83,14 +106,16 @@ def main():
         committed = parse_committed(found.group(1))
         failures = []
         for mode in MODES:
-            if mode not in committed:
-                failures.append(f"mode '{mode}' missing from committed table")
-                continue
-            drift = abs(committed[mode] - seconds[mode]) / seconds[mode]
-            if drift > args.tolerance:
-                failures.append(
-                    f"{mode}: committed {committed[mode]:.2f} s vs measured "
-                    f"{seconds[mode]:.2f} s (drift {drift:.1%} > {args.tolerance:.0%})")
+            for dist in DISTS:
+                cell = (mode, dist)
+                if cell not in committed:
+                    failures.append(f"cell '{mode}/{dist}' missing from committed table")
+                    continue
+                drift = abs(committed[cell] - seconds[cell]) / seconds[cell]
+                if drift > args.tolerance:
+                    failures.append(
+                        f"{mode}/{dist}: committed {committed[cell]:.2f} s vs measured "
+                        f"{seconds[cell]:.2f} s (drift {drift:.1%} > {args.tolerance:.0%})")
         if failures:
             sys.exit("EXPERIMENTS.md shuffle-ablation table drifted:\n  "
                      + "\n  ".join(failures)

@@ -70,6 +70,8 @@ void print_usage() {
       "  --scale X                simulation scale factor (default 1e-3)\n"
       "  --streams N              CUDA streams per GPU (default 4)\n"
       "  --scheduling P           locality | roundrobin | random\n"
+      "  --shuffle-mode M         barrier | pipelined | one_sided exchange\n"
+      "                           transport (default pipelined)\n"
       "  --no-cache               disable the GPU cache scheme (spmv)\n"
       "  --trace-out FILE         write a Chrome/Perfetto trace JSON of the run\n"
       "  --report-out FILE        write a machine-readable run report JSON\n"
@@ -144,6 +146,13 @@ bool parse(int argc, char** argv, Options& opt) {
       else if (p == "random") opt.testbed.scheduling = core::SchedulingPolicy::Random;
       else {
         std::fprintf(stderr, "unknown scheduling policy: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--shuffle-mode") {
+      const char* v = value();
+      if (!v) return false;
+      if (!gflink::shuffle::parse_shuffle_mode(v, &opt.testbed.shuffle_mode)) {
+        std::fprintf(stderr, "unknown shuffle mode: %s\n", v);
         return false;
       }
     } else if (arg == "--no-cache") {
