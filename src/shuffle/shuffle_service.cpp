@@ -46,6 +46,7 @@ ShuffleService::ShuffleService(sim::Simulation& sim, net::Cluster& cluster, dfs:
                                ShuffleConfig config, OwnerFn owner)
     : sim_(&sim), cluster_(&cluster), dfs_(&dfs), config_(std::move(config)),
       owner_(std::move(owner)),
+      spill_store_(std::make_unique<spill::SpillStore>(sim, cluster, dfs, config_.spill)),
       resident_(static_cast<std::size_t>(cluster.num_workers()) + 1, 0) {
   GFLINK_CHECK(config_.credits_per_partition >= 1);
   GFLINK_CHECK(config_.max_retries >= 0);
@@ -473,19 +474,42 @@ sim::Co<void> ShuffleSession::deposit(int t, int dst, mem::RecordBatch bucket) {
   if (cfg.spill_enabled && bytes > 0 &&
       service_->resident_bytes(dst) + bytes > cfg.receiver_budget_bytes) {
     d.spilled = true;
-    std::uint64_t seq;
-    {
-      core::MutexLock lock(mu_);
-      seq = next_spill_seq_++;
-      spilled_bytes_ += bytes;
+    // Landed-side accounting shared by both spill paths: the shuffle.spill_*
+    // counters and the session's spilled-byte total are bumped exactly once,
+    // when the block lands on its tier — worker-side on the async path,
+    // never at enqueue (the double-count hazard a detached offload invites).
+    // The hook captures the service (outlives every session) and a shared
+    // accounting cell, not `this`, so a worker landing a block after its
+    // session died never dereferences freed session state.
+    auto acct = spill_acct_;
+    auto* service = service_;
+    std::function<void()> on_landed = [service, acct, bytes] {
+      service->metrics().inc("shuffle.spill_blocks");
+      service->metrics().inc("shuffle.spill_bytes", static_cast<double>(bytes));
+      acct->fetch_add(bytes, std::memory_order_relaxed);
+    };
+    if (cfg.spill_async) {
+      // Asynchronous offload (the default): hand the bucket to dst's spill
+      // workers and keep going — the depositing coroutine stalls only on
+      // queue backpressure, never on tier I/O. take() awaits the landing.
+      d.spill_block = co_await service_->spill_store().offload(
+          dst, bytes, label_, {span_, obs::SpanCategory::Spill}, std::move(on_landed));
+    } else {
+      // Synchronous ablation baseline: compress inline and hold the
+      // depositing coroutine through the full DFS round trip.
+      std::uint64_t seq;
+      {
+        core::MutexLock lock(mu_);
+        seq = next_spill_seq_++;
+      }
+      d.spill_path = cfg.spill_dir + "/s" + std::to_string(id_) + "-p" + std::to_string(t) +
+                     "-" + std::to_string(seq);
+      const std::uint64_t stored =
+          co_await service_->spill_store().compress(dst, bytes, spill::SpillTier::Dfs);
+      co_await service_->dfs().write(dst, d.spill_path, stored,
+                                     {span_, obs::SpanCategory::Spill});
+      on_landed();
     }
-    d.spill_path = cfg.spill_dir + "/s" + std::to_string(id_) + "-p" + std::to_string(t) +
-                   "-" + std::to_string(seq);
-    obs::MetricsRegistry& m = service_->metrics();
-    m.inc("shuffle.spill_blocks");
-    m.inc("shuffle.spill_bytes", static_cast<double>(bytes));
-    co_await service_->dfs().write(dst, d.spill_path, bytes,
-                                   {span_, obs::SpanCategory::Spill});
   } else {
     service_->add_resident(dst, bytes);
     d.counted_resident = true;
@@ -528,7 +552,18 @@ sim::Co<std::vector<mem::RecordBatch>> ShuffleSession::take(int t, int reader,
     const std::uint64_t bytes = d.batch.byte_size();
     if (d.spilled) {
       service_->metrics().inc("shuffle.unspill_bytes", static_cast<double>(bytes));
-      co_await service_->dfs().read_file(reader, d.spill_path, link);
+      if (d.spill_block) {
+        // Async path: the fetch waits for the block to land if the worker
+        // is still writing it (write-behind consistency), pays the tier
+        // read + decompression, and promotes a re-read disk/DFS block
+        // back into the memory tier.
+        co_await service_->spill_store().fetch(d.spill_block, reader, link);
+        service_->spill_store().release(d.spill_block);
+      } else {
+        // Sync path: the block went straight to the DFS, compressed.
+        co_await service_->dfs().read_file(reader, d.spill_path, link);
+        co_await service_->spill_store().decompress(reader, bytes, spill::SpillTier::Dfs);
+      }
     } else if (d.counted_resident) {
       service_->sub_resident(service_->owner_of(t), bytes);
     }

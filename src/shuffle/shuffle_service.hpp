@@ -9,13 +9,13 @@
 //  * `barrier` — buckets are cut into fixed-size blocks shipped serially
 //    inside the sending task over the 1 GbE NIC pipes (the pre-refactor
 //    behaviour, kept as the ablation baseline);
-//  * `pipelined` (default) — the same blocks, but every block acquires one
+//  * `pipelined` — the same blocks, but every block acquires one
 //    in-flight credit for its target partition before it may enter the
 //    network (a slow receiver throttles its senders instead of
 //    accumulating unbounded buffers), and block sends are detached
 //    coroutines: the task slot is released while the NIC drains, so
 //    network transfer overlaps the downstream partition compute;
-//  * `one_sided` — the RDMA-style transport: senders build per-destination
+//  * `one_sided` (default) — the RDMA-style transport: senders build per-destination
 //    histograms, announce them with control messages, reserve disjoint
 //    offsets in each receiver's pre-sized receive region via remote
 //    fetch-add (the arrival-order prefix sum), then land whole buckets
@@ -23,10 +23,14 @@
 //    credits and no per-block ACKs; completion is a remote fetch-add
 //    counter that finish() polls as the barrier;
 //  * in every mode a receiver whose exchange buffer exceeds its byte
-//    budget spills deposited buckets to the DFS and reads them back at
-//    merge time, and injected transfer faults (the hook the fault
-//    framework of tests/test_fault.cpp uses) are retried with exponential
-//    backoff.
+//    budget spills deposited buckets and reads them back at merge time.
+//    By default the spill is *asynchronous*: the bucket is enqueued to
+//    the receiving node's spill workers (src/spill — bounded queue,
+//    memory → disk → DFS tier ladder, optional LZ-style codec) and the
+//    depositing coroutine continues immediately; `spill_async = false`
+//    keeps the pre-refactor synchronous DFS write as the ablation
+//    baseline. Injected transfer faults (the hook the fault framework of
+//    tests/test_fault.cpp uses) are retried with exponential backoff.
 //
 // One ShuffleSession is one exchange: `partition` + `send` on the map side,
 // `finish` as the stage barrier, `take` on the reduce side. The service is
@@ -35,6 +39,7 @@
 // sequence diagrams for all three modes.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -45,6 +50,7 @@
 #include "mem/record_batch.hpp"
 #include "net/cluster.hpp"
 #include "sim/sync.hpp"
+#include "spill/spill_store.hpp"
 
 namespace gflink::shuffle {
 
@@ -74,11 +80,19 @@ struct ShuffleConfig {
   /// Per-receiver exchange-buffer budget. Deposits beyond this spill to the
   /// DFS (when `spill_enabled`) and are read back at merge time.
   std::uint64_t receiver_budget_bytes = 1ULL << 30;
-  /// Which transport ships the buckets (see ShuffleMode). Pipelined is the
-  /// default; Barrier is the pre-ShuffleService ablation baseline; OneSided
-  /// is the RDMA-style histogram + one-sided-write exchange.
-  ShuffleMode mode = ShuffleMode::Pipelined;
+  /// Which transport ships the buckets (see ShuffleMode). OneSided — the
+  /// RDMA-style histogram + one-sided-write exchange — is the default;
+  /// Barrier is the pre-ShuffleService ablation baseline; Pipelined is the
+  /// credit-windowed NIC transport.
+  ShuffleMode mode = ShuffleMode::OneSided;
   bool spill_enabled = true;
+  /// Asynchronous spill offload (the default): deposits over the receiver
+  /// budget are enqueued to the node's spill workers (src/spill) and the
+  /// depositing coroutine continues; false keeps the synchronous DFS
+  /// write on the depositing path (the ablation baseline).
+  bool spill_async = true;
+  /// Tier ladder / codec / worker configuration of the async spill store.
+  spill::SpillConfig spill;
   /// Retry budget for injected transfer faults. A block send that faults
   /// more than `max_retries` times aborts the shuffle (checked loudly at
   /// finish()).
@@ -128,9 +142,11 @@ class ShuffleSession {
   /// modeling (used by rebalance, whose transfers are charged at merge).
   void deposit_local(int t, mem::RecordBatch bucket);
 
-  /// Stage barrier: wait until every in-flight block has been deposited
-  /// (and any spill writes completed). Aborts loudly if a block exhausted
-  /// its retry budget.
+  /// Stage barrier: wait until every in-flight block has been deposited.
+  /// Async spill offloads are only *enqueued* by then — tier writes drain
+  /// in the background and take() awaits any block still in flight — so
+  /// the barrier no longer pays for spill I/O (the DShuffle-style win).
+  /// Aborts loudly if a block exhausted its retry budget.
   sim::Co<void> finish();
 
   /// Reduce side: move partition `t`'s deposited buckets out, paying the
@@ -145,9 +161,12 @@ class ShuffleSession {
     core::MutexLock lock(mu_);
     return network_bytes_;
   }
+  /// Counted when the spilled block *lands* on its tier (worker-side on
+  /// the async path, inline on the sync path) — the single accounting
+  /// point the spill_bytes counters share. Held behind a shared_ptr so a
+  /// worker whose session already died can still account safely.
   std::uint64_t spilled_bytes() const {
-    core::MutexLock lock(mu_);
-    return spilled_bytes_;
+    return spill_acct_->load(std::memory_order_relaxed);
   }
 
  private:
@@ -155,7 +174,8 @@ class ShuffleSession {
     mem::RecordBatch batch;
     bool spilled = false;
     bool counted_resident = false;  // held exchange-budget bytes until taken
-    std::string spill_path;
+    std::string spill_path;              // sync spill path (DFS file)
+    spill::BlockHandle spill_block;      // async spill path (tiered store)
   };
 
   sim::Co<void> send_bucket(int src, int t, mem::RecordBatch bucket);
@@ -202,7 +222,10 @@ class ShuffleSession {
   mutable core::Mutex mu_;
   int in_flight_sends_ GFLINK_GUARDED_BY(mu_) = 0;
   std::uint64_t network_bytes_ GFLINK_GUARDED_BY(mu_) = 0;
-  std::uint64_t spilled_bytes_ GFLINK_GUARDED_BY(mu_) = 0;
+  /// Landed spill bytes (see spilled_bytes()); atomic + shared so the
+  /// async worker's accounting hook never dangles.
+  std::shared_ptr<std::atomic<std::uint64_t>> spill_acct_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
   std::uint64_t next_spill_seq_ GFLINK_GUARDED_BY(mu_) = 0;
   int aborted_blocks_ GFLINK_GUARDED_BY(mu_) = 0;
 };
@@ -221,6 +244,9 @@ class ShuffleService {
   dfs::Gdfs& dfs() { return *dfs_; }
   int owner_of(int partition) const { return owner_(partition); }
   obs::MetricsRegistry& metrics() { return cluster_->metrics(); }
+  /// The tiered async spill store shared by every session (also serves
+  /// the codec to the synchronous ablation path).
+  spill::SpillStore& spill_store() { return *spill_store_; }
 
   /// Fault-injection hook (the shuffle arm of the fault framework): the
   /// next `n` block-transfer attempts fail before moving any bytes and are
@@ -272,6 +298,9 @@ class ShuffleService {
   dfs::Gdfs* dfs_;
   ShuffleConfig config_;
   OwnerFn owner_;
+  /// Outlives every session (sessions are per-stage; the service is
+  /// per-engine), so worker-side hooks may capture the service pointer.
+  std::unique_ptr<spill::SpillStore> spill_store_;
   /// Guards the service-wide credit/fault/resident accounting shared by
   /// every session. Leaf lock; the in-flight gauge is published after
   /// release (the registry has its own lock).

@@ -54,6 +54,22 @@ df::EngineConfig make_engine_config(const Testbed& tb) {
       64 * 1024, static_cast<std::uint64_t>(4.0e9 * s));
   cfg.shuffle.retry_backoff = scaled(sim::millis(100), s);
   cfg.shuffle.mode = tb.shuffle_mode;
+  // Spill tiers scale like the data (byte budgets), while codec
+  // bandwidths — like every bandwidth — stay unscaled.
+  cfg.shuffle.spill_async = tb.spill_async;
+  cfg.shuffle.spill.codec = tb.spill_codec;
+  cfg.shuffle.spill.memory_tier_bytes =
+      !tb.spill_memory_tier
+          ? 0
+          : std::max<std::uint64_t>(
+                16 * 1024,
+                static_cast<std::uint64_t>(static_cast<double>(tb.full_spill_memory_tier) * s));
+  cfg.shuffle.spill.disk_tier_bytes =
+      !tb.spill_disk_tier
+          ? 0
+          : std::max<std::uint64_t>(
+                64 * 1024,
+                static_cast<std::uint64_t>(static_cast<double>(tb.full_spill_disk_tier) * s));
 
   cfg.trace = tb.trace;
   return cfg;

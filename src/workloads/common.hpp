@@ -55,8 +55,19 @@ struct Testbed {
   /// Device staging-ring depth (chunks in flight per stream).
   int staging_slots = 3;
   /// Exchange transport for every shuffled edge (barrier / pipelined /
-  /// one_sided — the CLI's --shuffle-mode).
-  shuffle::ShuffleMode shuffle_mode = shuffle::ShuffleMode::Pipelined;
+  /// one_sided — the CLI's --shuffle-mode). One-sided is the default
+  /// after its PR 7 soak: it wins on every workload cell measured.
+  shuffle::ShuffleMode shuffle_mode = shuffle::ShuffleMode::OneSided;
+  /// Spill-path configuration (the CLI's --spill-codec / --spill-tiers):
+  /// async tiered offload with the LZ-style codec by default; the sync
+  /// flag and tier switches exist for the bench_ablation_spill cells.
+  spill::SpillCodec spill_codec = spill::SpillCodec::Lz;
+  bool spill_async = true;
+  bool spill_memory_tier = true;
+  bool spill_disk_tier = true;
+  /// Spill-tier budgets at full scale (scaled down like the data).
+  std::uint64_t full_spill_memory_tier = 512ULL << 20;
+  std::uint64_t full_spill_disk_tier = 8ULL << 30;
   bool trace = false;
 };
 

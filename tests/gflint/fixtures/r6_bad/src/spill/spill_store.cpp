@@ -1,0 +1,13 @@
+// Fixture: spill metrics/spans WITHOUT tier attribution (3 findings: the
+// counter, the span record and the span open; the labelled counter below
+// is fine).
+#include "spill/spill_store.hpp"
+
+void emit(gflink::obs::MetricsRegistry& metrics, gflink::net::Cluster& cluster) {
+  metrics.counter("spill_offload_blocks_total").inc();  // BAD: no tier label
+  cluster.spans().record("spill:write", gflink::obs::SpanCategory::Spill, 0, 0, 1,
+                         "node1/spill", 1);  // BAD: name carries no tier
+  cluster.spans().open("spill:fetch", gflink::obs::SpanCategory::Spill, 0, 0,
+                       "node1/spill", 1);  // BAD: name carries no tier
+  metrics.counter("spill_landed_blocks_total", {{"tier", "dfs"}}).inc();  // ok
+}

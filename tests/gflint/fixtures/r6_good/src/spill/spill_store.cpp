@@ -1,0 +1,12 @@
+// Fixture: every spill metric/span carries a tier attribution.
+#include "spill/spill_store.hpp"
+
+void emit(gflink::obs::MetricsRegistry& metrics, gflink::net::Cluster& cluster,
+          const char* tier) {
+  metrics.counter("spill_offload_blocks_total", {{"tier", tier}}).inc();
+  cluster.spans().record(std::string("spill:write:") + tier,
+                         gflink::obs::SpanCategory::Spill, 0, 0, 1, "node1/spill", 1);
+  cluster.spans().open(std::string("spill:fetch:") + tier,
+                       gflink::obs::SpanCategory::Spill, 0, 0, "node1/spill", 1);
+  metrics.counter("spill_landed_blocks_total", {{"tier", tier}}).inc();
+}

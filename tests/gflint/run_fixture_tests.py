@@ -30,6 +30,8 @@ CASES = [
     ("r4_good", "R4", 0, {}),
     ("r5_bad", "R5", 1, {"R5": 2}),
     ("r5_good", "R5", 0, {}),
+    ("r6_bad", "R6", 1, {"R6": 3}),
+    ("r6_good", "R6", 0, {}),
 ]
 
 

@@ -119,7 +119,9 @@ TEST(Gdfs, ReadTimeMatchesDiskModel) {
   const auto& info = f.fs.create_file("/timed", 150'000'000);
   int local = info.blocks[0].replicas[0];
   Time done = -1;
-  f.s.spawn([](Simulation& sm, dfs::Gdfs& fs, int reader, const std::string& p,
+  // The path is taken by value: the coroutine is detached, so a reference
+  // parameter would dangle once the spawn full-expression's temporary dies.
+  f.s.spawn([](Simulation& sm, dfs::Gdfs& fs, int reader, std::string p,
                Time& d) -> Co<void> {
     co_await fs.read_file(reader, p);
     d = sm.now();

@@ -138,6 +138,7 @@ TEST(Shuffle, PartitionWithCombineIsExactAndDeterministic) {
 
 TEST(Shuffle, CreditWindowBoundsInFlightBlocksAndStallsSenders) {
   sh::ShuffleConfig cfg;
+  cfg.mode = sh::ShuffleMode::Pipelined;  // credits are a pipelined-transport mechanism
   cfg.block_bytes = 64;  // a 500-record bucket becomes ~125 blocks
   cfg.credits_per_partition = 2;
   Harness h(cfg, 2);
@@ -168,12 +169,15 @@ TEST(Shuffle, SpillRoundTripKeepsRecordsIntact) {
     auto buckets = s.partition(make_batch(in), &kv_desc(), &shuffle_key, nullptr);
     co_await s.send(2, std::move(buckets));
     co_await s.finish();
-    EXPECT_GT(s.spilled_bytes(), 0u);
     // Resident bytes stay bounded by the budget plus one in-flight bucket.
     auto batches = co_await s.take(0, 1);
     for (const auto& b : batches) {
       for (std::size_t i = 0; i < b.count(); ++i) out.push_back(row_at(b, i));
     }
+    // Checked after take(): under the async offload the byte accounting
+    // runs worker-side when a block lands, which may be after finish();
+    // take() awaits every in-flight block, so by here it is final.
+    EXPECT_GT(s.spilled_bytes(), 0u);
   }(*session, rows, taken));
   h.simulation.run();
 
@@ -272,13 +276,14 @@ TEST(Shuffle, AllTransportsAgreeSpillOrNot) {
   df::Engine barrier(barrier_cfg);
   EXPECT_EQ(run_reduce_job(barrier), kExpectedTotal);
 
-  df::Engine pipelined(tiny_engine_config());
+  df::EngineConfig pipelined_cfg = tiny_engine_config();
+  pipelined_cfg.shuffle.mode = sh::ShuffleMode::Pipelined;
+  df::Engine pipelined(pipelined_cfg);
   EXPECT_EQ(run_reduce_job(pipelined), kExpectedTotal);
   EXPECT_LE(pipelined.now(), barrier.now());
 
-  df::EngineConfig one_sided_cfg = tiny_engine_config();
-  one_sided_cfg.shuffle.mode = sh::ShuffleMode::OneSided;
-  df::Engine one_sided(one_sided_cfg);
+  // One-sided is the engine default; the explicit mode must agree with it.
+  df::Engine one_sided(tiny_engine_config());
   EXPECT_EQ(run_reduce_job(one_sided), kExpectedTotal);
   EXPECT_LE(one_sided.now(), pipelined.now());
   EXPECT_GT(one_sided.metrics().counter_value("shuffle.one_sided_writes"), 0.0);
@@ -290,7 +295,55 @@ TEST(Shuffle, AllTransportsAgreeSpillOrNot) {
   df::Engine spilling(spill_cfg);
   EXPECT_EQ(run_reduce_job(spilling), kExpectedTotal);
   EXPECT_GT(spilling.metrics().counter_value("shuffle.spill_bytes"), 0.0);
-  EXPECT_GE(spilling.now(), pipelined.now());  // spill I/O costs time
+  EXPECT_GE(spilling.now(), one_sided.now());  // spilling still costs time
+}
+
+TEST(Shuffle, AsyncSpillAccountsBytesExactlyOnce) {
+  // Regression guard for the detached-offload double-count hazard: the
+  // shuffle.spill_bytes counter is bumped at exactly one point (worker-side
+  // on land, never at enqueue), so both spill paths see identical volumes,
+  // every spilled byte is un-spilled at take(), and the async offload's
+  // per-tier byte totals reconcile with the shuffle-level counter.
+  auto run_path = [](bool async_path, double* spill_bytes, std::uint64_t* session_bytes,
+                     sim::Time* elapsed) {
+    sh::ShuffleConfig cfg;
+    cfg.receiver_budget_bytes = 1024;
+    cfg.spill_async = async_path;
+    Harness h(cfg, 2);
+    auto session = std::make_unique<sh::ShuffleSession>(h.service, 1, "t");
+    std::size_t taken = 0;
+    h.simulation.spawn([](sh::ShuffleSession& s, std::size_t& n) -> Co<void> {
+      auto buckets = s.partition(make_batch(skewed_rows(200)), &kv_desc(), &shuffle_key, nullptr);
+      co_await s.send(2, std::move(buckets));
+      co_await s.finish();
+      auto batches = co_await s.take(0, 1);
+      for (const auto& b : batches) n += b.count();
+    }(*session, taken));
+    h.simulation.run();
+    EXPECT_EQ(taken, 200u);
+    const auto& m = h.cluster.metrics();
+    *spill_bytes = m.counter_value("shuffle.spill_bytes");
+    EXPECT_EQ(*spill_bytes, m.counter_value("shuffle.unspill_bytes"));
+    *session_bytes = session->spilled_bytes();
+    *elapsed = h.simulation.now();
+    if (async_path) {
+      double offloaded = 0.0;
+      for (const char* tier : {"memory", "disk", "dfs"}) {
+        offloaded += m.counter_value("spill_offload_bytes_total", {{"tier", tier}});
+      }
+      EXPECT_EQ(offloaded, *spill_bytes);
+    }
+  };
+  double sync_bytes = 0.0, async_bytes = 0.0;
+  std::uint64_t sync_session = 0, async_session = 0;
+  sim::Time sync_t = 0, async_t = 0;
+  run_path(false, &sync_bytes, &sync_session, &sync_t);
+  run_path(true, &async_bytes, &async_session, &async_t);
+  EXPECT_GT(async_bytes, 0.0);
+  EXPECT_EQ(async_bytes, sync_bytes);  // same volume, each counted once
+  EXPECT_EQ(async_session, static_cast<std::uint64_t>(async_bytes));
+  EXPECT_EQ(sync_session, static_cast<std::uint64_t>(sync_bytes));
+  EXPECT_LE(async_t, sync_t);  // the offload moved tier I/O off the path
 }
 
 }  // namespace

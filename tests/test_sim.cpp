@@ -86,14 +86,19 @@ TEST(Simulation, DelayAdvancesClock) {
 
 TEST(Simulation, NestedCoroutinesReturnValues) {
   Simulation s;
-  auto inner = [](Simulation& sim, int x) -> Co<int> {
-    co_await sim.delay(10);
-    co_return x * 2;
+  // A static member instead of a captured lambda: the outer coroutine is
+  // detached, so a closure captured by reference would be gone by the time
+  // the frame resumes and calls through it.
+  struct Inner {
+    static Co<int> doubled(Simulation& sim, int x) {
+      co_await sim.delay(10);
+      co_return x * 2;
+    }
   };
   int result = 0;
-  s.spawn([&inner](Simulation& sim, int& out) -> Co<void> {
-    int a = co_await inner(sim, 21);
-    int b = co_await inner(sim, a);
+  s.spawn([](Simulation& sim, int& out) -> Co<void> {
+    int a = co_await Inner::doubled(sim, 21);
+    int b = co_await Inner::doubled(sim, a);
     out = b;
   }(s, result));
   s.run();
@@ -106,11 +111,19 @@ TEST(Simulation, DeepAwaitChainDoesNotOverflowStack) {
   GTEST_SKIP() << "100k-deep await chain overflows TSan's internal stack "
                   "depot (sanitizer_stackdepot kStackSizeBits CHECK), "
                   "which aborts before any user code misbehaves";
+#elif defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "ASan instrumentation defeats the guaranteed tail call "
+                  "behind symmetric transfer at -O0, so the chain grows "
+                  "the native stack it exists to prove flat";
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer)
   GTEST_SKIP() << "100k-deep await chain overflows TSan's internal stack "
                   "depot (sanitizer_stackdepot kStackSizeBits CHECK), "
                   "which aborts before any user code misbehaves";
+#elif __has_feature(address_sanitizer)
+  GTEST_SKIP() << "ASan instrumentation defeats the guaranteed tail call "
+                  "behind symmetric transfer at -O0, so the chain grows "
+                  "the native stack it exists to prove flat";
 #endif
 #endif
   Simulation s;

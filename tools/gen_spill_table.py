@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Regenerate (or check) the EXPERIMENTS.md spill-ablation table.
+
+Reads BENCH_ablation_spill.json (a gflink.run_report/v3 written by
+bench/bench_ablation_spill), renders the 2-path x 2-codec markdown table
+between the `<!-- spill-ablation:begin -->` / `<!-- spill-ablation:end -->`
+markers in EXPERIMENTS.md, and either rewrites the file in place (default)
+or, with --check, fails if the committed numbers drift from the fresh run
+by more than --tolerance (relative) per cell, or if the expected orderings
+do not hold: within each codec, async offload must be strictly faster than
+sync, and async+lz must be the fastest cell overall.
+
+Usage:
+  tools/gen_spill_table.py --report BENCH_ablation_spill.json [--check]
+      [--experiments EXPERIMENTS.md] [--tolerance 0.05]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+PATHS = ["sync", "async"]
+CODECS = ["none", "lz"]
+BEGIN = "<!-- spill-ablation:begin -->"
+END = "<!-- spill-ablation:end -->"
+
+
+def load_gauges(report_path):
+    """-> ({(path, codec): seconds}, {(path, codec): stall_seconds})."""
+    with open(report_path) as f:
+        report = json.load(f)
+    seconds, stalls = {}, {}
+    for gauge in report.get("metrics", {}).get("gauges", []):
+        labels = gauge.get("labels", {})
+        cell = (labels.get("path"), labels.get("codec"))
+        if gauge.get("name") == "ablation_spill_seconds":
+            seconds[cell] = float(gauge["value"])
+        elif gauge.get("name") == "ablation_spill_stall_seconds":
+            stalls[cell] = float(gauge["value"])
+    missing = [f"{p}/{c}" for p in PATHS for c in CODECS
+               if (p, c) not in seconds or (p, c) not in stalls]
+    if missing:
+        sys.exit(f"error: {report_path} is missing cells {missing}; "
+                 "re-run bench_ablation_spill")
+    return seconds, stalls
+
+
+def render_table(seconds, stalls):
+    lines = [
+        "| Spill path | codec | full-scale s | vs. sync/none "
+        "| critical-path spill stall (s) |",
+        "|---|---|---|---|---|",
+    ]
+    base = seconds[("sync", "none")]
+    for path in PATHS:
+        for codec in CODECS:
+            cell = (path, codec)
+            lines.append(
+                f"| {path} | {codec} | {seconds[cell]:.2f} | "
+                f"{seconds[cell] / base:.3f}x | {stalls[cell]:.2f} |")
+    return "\n".join(lines)
+
+
+def parse_committed(block):
+    """-> {(path, codec): seconds} parsed back out of the committed table."""
+    committed = {}
+    row = re.compile(r"^\| (\w+) \| (\w+) \| ([0-9.]+) \|", re.M)
+    for match in row.finditer(block):
+        committed[(match.group(1), match.group(2))] = float(match.group(3))
+    return committed
+
+
+def check_ordering(seconds):
+    for codec in CODECS:
+        if seconds[("async", codec)] >= seconds[("sync", codec)]:
+            sys.exit(f"error: async offload is not strictly faster than sync "
+                     f"under codec={codec} ({seconds[('async', codec)]:.3f} vs "
+                     f"{seconds[('sync', codec)]:.3f} s)")
+    fastest = min(seconds, key=seconds.get)
+    if fastest != ("async", "lz"):
+        sys.exit(f"error: fastest cell is {fastest[0]}/{fastest[1]}, "
+                 "expected async/lz")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", default="BENCH_ablation_spill.json")
+    ap.add_argument("--experiments", default="EXPERIMENTS.md")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative drift per cell in --check")
+    ap.add_argument("--check", action="store_true",
+                    help="fail on drift instead of rewriting the table")
+    args = ap.parse_args()
+
+    seconds, stalls = load_gauges(args.report)
+    check_ordering(seconds)
+
+    with open(args.experiments) as f:
+        text = f.read()
+    pattern = re.compile(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.S)
+    found = pattern.search(text)
+    if not found:
+        sys.exit(f"error: {args.experiments} lacks the {BEGIN} ... {END} markers")
+
+    if args.check:
+        committed = parse_committed(found.group(1))
+        failures = []
+        for path in PATHS:
+            for codec in CODECS:
+                cell = (path, codec)
+                if cell not in committed:
+                    failures.append(f"cell '{path}/{codec}' missing from committed table")
+                    continue
+                drift = abs(committed[cell] - seconds[cell]) / seconds[cell]
+                if drift > args.tolerance:
+                    failures.append(
+                        f"{path}/{codec}: committed {committed[cell]:.2f} s vs measured "
+                        f"{seconds[cell]:.2f} s (drift {drift:.1%} > {args.tolerance:.0%})")
+        if failures:
+            sys.exit("EXPERIMENTS.md spill-ablation table drifted:\n  "
+                     + "\n  ".join(failures)
+                     + "\nRegenerate with tools/gen_spill_table.py")
+        print("spill-ablation table matches the fresh run")
+        return
+
+    replacement = f"{BEGIN}\n{render_table(seconds, stalls)}\n{END}"
+    with open(args.experiments, "w") as f:
+        f.write(pattern.sub(lambda _: replacement, text))
+    print(f"updated {args.experiments}")
+
+
+if __name__ == "__main__":
+    main()

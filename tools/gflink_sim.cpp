@@ -71,7 +71,14 @@ void print_usage() {
       "  --streams N              CUDA streams per GPU (default 4)\n"
       "  --scheduling P           locality | roundrobin | random\n"
       "  --shuffle-mode M         barrier | pipelined | one_sided exchange\n"
-      "                           transport (default pipelined)\n"
+      "                           transport (default one_sided)\n"
+      "  --spill-codec C          none | lz block codec for spilled exchange\n"
+      "                           buckets (default lz)\n"
+      "  --spill-tiers T          comma list from {memory,disk,dfs}: which spill\n"
+      "                           tiers are enabled (default memory,disk,dfs;\n"
+      "                           dfs is always on as the backstop)\n"
+      "  --spill-sync             synchronous spill writes (the pre-async\n"
+      "                           ablation baseline)\n"
       "  --no-cache               disable the GPU cache scheme (spmv)\n"
       "  --trace-out FILE         write a Chrome/Perfetto trace JSON of the run\n"
       "  --report-out FILE        write a machine-readable run report JSON\n"
@@ -155,6 +162,33 @@ bool parse(int argc, char** argv, Options& opt) {
         std::fprintf(stderr, "unknown shuffle mode: %s\n", v);
         return false;
       }
+    } else if (arg == "--spill-codec") {
+      const char* v = value();
+      if (!v) return false;
+      if (!gflink::spill::parse_spill_codec(v, &opt.testbed.spill_codec)) {
+        std::fprintf(stderr, "unknown spill codec: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--spill-tiers") {
+      const char* v = value();
+      if (!v) return false;
+      opt.testbed.spill_memory_tier = false;
+      opt.testbed.spill_disk_tier = false;
+      std::string tiers = v;
+      for (std::size_t pos = 0; pos <= tiers.size();) {
+        std::size_t comma = tiers.find(',', pos);
+        if (comma == std::string::npos) comma = tiers.size();
+        const std::string tier = tiers.substr(pos, comma - pos);
+        if (tier == "memory") opt.testbed.spill_memory_tier = true;
+        else if (tier == "disk") opt.testbed.spill_disk_tier = true;
+        else if (tier != "dfs") {  // dfs is the always-on backstop
+          std::fprintf(stderr, "unknown spill tier: %s\n", tier.c_str());
+          return false;
+        }
+        pos = comma + 1;
+      }
+    } else if (arg == "--spill-sync") {
+      opt.testbed.spill_async = false;
     } else if (arg == "--no-cache") {
       opt.cache = false;
     } else if (arg == "--trace-out") {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """gflint: GFlink-specific lint over src/**.
 
-Four rules, each enforcing an architectural invariant the type system
+Rules, each enforcing an architectural invariant the type system
 cannot express (see docs/ARCHITECTURE.md, "Concurrency invariants & lock
 hierarchy" and the GStruct layout contract in src/mem/gstruct.hpp):
 
@@ -31,6 +31,12 @@ hierarchy" and the GStruct layout contract in src/mem/gstruct.hpp):
                      The JobService is the multi-tenant control plane; an
                      unattributed series there cannot be billed, graphed or
                      alerted per tenant.
+  R6  tier-labels    Every metric emission and span statement (record or
+                     open) under src/spill/ carries a tier attribution (a
+                     {"tier", ...} label or a tier-derived span name). The
+                     spill store is a tier ladder; a series that cannot be
+                     split by tier cannot answer where blocks landed or
+                     which rung is saturated.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage or
 environment errors (missing root, unreadable files).
@@ -93,6 +99,11 @@ MIRROR_CHECK_RE = re.compile(r"GSTRUCT_MIRROR_CHECK\(\s*(\w+)\s*,")
 # {"tenant", ...} label, a tenant_lane(...) argument, t.config.name via a
 # tenant variable, ...).
 SPAN_RECORD_RE = re.compile(r"spans\(\)\s*\.\s*record\s*\(")
+
+# R6: span sites under src/spill/ also include open() — the store opens
+# long-lived tier-write/fetch spans and closes them separately, and the
+# tier attribution lives in the opened span's name.
+SPAN_SITE_RE = re.compile(r"spans\(\)\s*\.\s*(?:record|open)\s*\(")
 
 SOURCE_GLOBS = ("**/*.cpp", "**/*.hpp")
 
@@ -263,6 +274,28 @@ def rule_tenant_labels(src: Path) -> list:
     return findings
 
 
+def rule_tier_labels(src: Path) -> list:
+    findings = []
+    spill = src / "spill"
+    if not spill.is_dir():
+        return findings
+    for path in iter_sources(spill):
+        text = strip_comments(path.read_text())
+        sites = [(m.start(), f"metric '{m.group(1)}'")
+                 for m in METRIC_CALL_RE.finditer(text)]
+        sites += [(m.start(), "span statement") for m in SPAN_SITE_RE.finditer(text)]
+        for pos, what in sorted(sites):
+            stmt_end = text.find(";", pos)
+            stmt = text[pos:stmt_end] if stmt_end >= 0 else text[pos:]
+            if "tier" not in stmt:
+                findings.append(Finding(
+                    "R6", path, line_of(text, pos),
+                    f"{what} under src/spill carries no tier attribution — "
+                    "label it {\"tier\", ...} (metrics) or put the tier in the "
+                    "span name so the ladder stays observable per rung"))
+    return findings
+
+
 # ---- Driver ----------------------------------------------------------------
 
 
@@ -271,7 +304,7 @@ def main() -> int:
     parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
                         help="repo root (containing src/ and EXPERIMENTS.md); "
                              "default: the checkout this script lives in")
-    parser.add_argument("--rules", default="R1,R2,R3,R4,R5",
+    parser.add_argument("--rules", default="R1,R2,R3,R4,R5,R6",
                         help="comma-separated subset of rules to run (default: all)")
     parser.add_argument("--list-metrics", action="store_true",
                         help="print the metric names emitted under src/ and exit")
@@ -288,7 +321,7 @@ def main() -> int:
         return 0
 
     rules = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
-    unknown = rules - {"R1", "R2", "R3", "R4", "R5"}
+    unknown = rules - {"R1", "R2", "R3", "R4", "R5", "R6"}
     if unknown:
         print(f"gflint: error: unknown rule(s): {', '.join(sorted(unknown))}",
               file=sys.stderr)
@@ -314,6 +347,8 @@ def main() -> int:
         findings += rule_mirrors(src)
     if "R5" in rules:
         findings += rule_tenant_labels(src)
+    if "R6" in rules:
+        findings += rule_tier_labels(src)
 
     for f in findings:
         print(f)
