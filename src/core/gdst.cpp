@@ -1,9 +1,39 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 #include "core/gdst.hpp"
 
 #include <cstring>
 #include <deque>
 
 namespace gflink::core {
+
+namespace {
+
+/// One submitted-but-unretired GPU block of a mapPartition task.
+struct BlockResult {
+  GWorkPtr work;
+  std::size_t out_records = 0;
+  mem::HBufferPtr out_buffer;
+};
+
+/// Retire the oldest in-flight block: await completion, append its output
+/// records in block order, and release its host buffers back to the page
+/// budget. Bounding the in-flight window keeps the task's footprint
+/// independent of partition size (and free of budget deadlocks). A named
+/// coroutine instead of a capturing lambda (gflint C1); awaited in-scope.
+sim::Co<void> retire_oldest_block(std::deque<BlockResult>& in_flight, mem::RecordBatch& out,
+                                  std::size_t out_stride) {
+  BlockResult r = std::move(in_flight.front());
+  in_flight.pop_front();
+  co_await r.work->done->wait();
+  for (std::size_t i = 0; i < r.out_records; ++i) {
+    out.append_raw(r.out_buffer->data() + i * out_stride);
+  }
+}
+
+}  // namespace
 
 sim::Co<void> gpu_map_partition_run(dataflow::TaskContext& ctx, const GpuOpSpec& spec,
                                     const mem::RecordBatch& in, mem::RecordBatch& out) {
@@ -26,25 +56,7 @@ sim::Co<void> gpu_map_partition_run(dataflow::TaskContext& ctx, const GpuOpSpec&
 
   mem::MemoryManager& memory = ctx.worker_state().memory();
 
-  struct BlockResult {
-    GWorkPtr work;
-    std::size_t out_records = 0;
-    mem::HBufferPtr out_buffer;
-  };
   std::deque<BlockResult> in_flight;
-
-  // Retire the oldest in-flight block: await completion, append its output
-  // records in block order, and release its host buffers back to the page
-  // budget. Bounding the in-flight window keeps the task's footprint
-  // independent of partition size (and free of budget deadlocks).
-  auto retire_oldest = [&]() -> sim::Co<void> {
-    BlockResult r = std::move(in_flight.front());
-    in_flight.pop_front();
-    co_await r.work->done->wait();
-    for (std::size_t i = 0; i < r.out_records; ++i) {
-      out.append_raw(r.out_buffer->data() + i * out_stride);
-    }
-  };
   const std::size_t window = std::max<std::size_t>(
       16, 4 * static_cast<std::size_t>(mgr.num_devices() * mgr.streams().streams_per_gpu()));
 
@@ -102,12 +114,13 @@ sim::Co<void> gpu_map_partition_run(dataflow::TaskContext& ctx, const GpuOpSpec&
     mgr.streams().submit(work);
     in_flight.push_back(BlockResult{std::move(work), out_records, std::move(out_buf)});
     if (in_flight.size() >= window) {
-      co_await retire_oldest();
+      co_await retire_oldest_block(in_flight, out, out_stride);
     }
   }
   while (!in_flight.empty()) {
-    co_await retire_oldest();
+    co_await retire_oldest_block(in_flight, out, out_stride);
   }
 }
 
 }  // namespace gflink::core
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

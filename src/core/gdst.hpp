@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // GDST: the GPU-based DataSet programming framework (paper §3.5).
 //
 // A GPU-based mapper/reducer is expressed as a GpuOpSpec: which kernel to
@@ -93,3 +97,4 @@ dataflow::DataSet<U> gpu_reduce_op(const dataflow::DataSet<T>& in,
 }
 
 }  // namespace gflink::core
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // GpuManager: the per-worker component that owns everything GPU-side
 // (paper §3.4, Fig. 1b) — the devices, the JNI communication layers
 // (CUDAWrapper/CUDAStub), GMemoryManager and GStreamManager.
@@ -129,3 +133,4 @@ class GFlinkRuntime {
 };
 
 }  // namespace gflink::core
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

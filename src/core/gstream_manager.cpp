@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 #include "core/gstream_manager.hpp"
 
 #include <algorithm>
@@ -139,6 +143,9 @@ GStreamManager::GStreamManager(sim::Simulation& sim, std::vector<gpu::CudaWrappe
       // they idle-timeout into the freed state and are revived on demand.
       w->freed = false;
       bulks_[g].push_back(std::move(w));
+      // gflint: allow(C3): the manager owns its StreamWorkers and is itself
+      // owned by the GpuManager for the whole simulation; worker_loop frames
+      // never outlive `this`.
       sim_->spawn(worker_loop(bulks_[g].back().get()));
     }
   }
@@ -268,6 +275,8 @@ void GStreamManager::ensure_alive(int gpu) {
     if (w->freed) {
       w->freed = false;
       w->idle = false;
+      // gflint: allow(C3): revived worker frame is bounded by the manager's
+      // lifetime, same as the pool-construction spawn above.
       sim_->spawn(worker_loop(w.get()));
       return;  // one revived stream will drain the queue (and steal more)
     }
@@ -762,3 +771,4 @@ void GStreamManager::export_metrics(obs::MetricsRegistry& out) const {
 }
 
 }  // namespace gflink::core
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

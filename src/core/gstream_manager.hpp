@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // GStreamManager: GFlink's producer-consumer execution engine for GPUs
 // (paper §5, Fig. 4).
 //
@@ -240,3 +244,4 @@ class GStreamManager {
 };
 
 }  // namespace gflink::core
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

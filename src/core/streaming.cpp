@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 #include "core/streaming.hpp"
 
 #include <algorithm>
@@ -70,6 +74,47 @@ sim::Co<void> map_loop(Engine& engine, Pipeline& pl, const StreamOp& op, EventCh
   out.close();
 }
 
+/// Flush the accumulated batch through one GWork. A named coroutine (not a
+/// capturing lambda, gflint C1): it is awaited in the caller's scope, and
+/// every reference parameter outlives the await.
+sim::Co<void> flush_gpu_batch(Job& job, Pipeline& pl, const StreamOp& op,
+                              mem::MemoryManager& memory, GpuManager& manager,
+                              EventChannel& out, std::vector<Event>& batch,
+                              std::size_t stride) {
+  if (batch.empty()) co_return;
+  const std::size_t n = batch.size();
+  auto in_buf = memory.allocate_unbudgeted(n * stride);  // pinned off-heap
+  for (std::size_t i = 0; i < n; ++i) {
+    in_buf->write(i * stride, batch[i].bytes.data(), stride);
+  }
+  auto out_buf = memory.allocate_unbudgeted(n * stride);
+
+  auto work = std::make_shared<GWork>();
+  work->execute_name = op.kernel;
+  work->layout = op.layout;
+  work->size = n;
+  work->job_id = job.id();
+  work->span = job.span();
+  GBuffer ib;
+  ib.host = in_buf;
+  ib.bytes = n * stride;
+  work->inputs.push_back(ib);
+  GBuffer ob;
+  ob.host = out_buf;
+  ob.bytes = n * stride;
+  work->outputs.push_back(ob);
+  co_await manager.run(work);
+  ++pl.gpu_batches;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Event next;
+    next.emitted = batch[i].emitted;
+    next.bytes.assign(out_buf->data() + i * stride, out_buf->data() + (i + 1) * stride);
+    co_await out.send(std::move(next));
+  }
+  batch.clear();
+}
+
 sim::Co<void> gpu_batch_loop(Engine& engine, Job& job, Pipeline& pl, const StreamOp& op,
                              EventChannel& in, EventChannel& out) {
   auto* manager = static_cast<GpuManager*>(engine.worker_state(pl.worker).extension());
@@ -80,51 +125,34 @@ sim::Co<void> gpu_batch_loop(Engine& engine, Job& job, Pipeline& pl, const Strea
   std::vector<Event> batch;
   batch.reserve(op.batch_size);
 
-  auto flush = [&]() -> sim::Co<void> {
-    if (batch.empty()) co_return;
-    const std::size_t n = batch.size();
-    auto in_buf = memory.allocate_unbudgeted(n * stride);  // pinned off-heap
-    for (std::size_t i = 0; i < n; ++i) {
-      in_buf->write(i * stride, batch[i].bytes.data(), stride);
-    }
-    auto out_buf = memory.allocate_unbudgeted(n * stride);
-
-    auto work = std::make_shared<GWork>();
-    work->execute_name = op.kernel;
-    work->layout = op.layout;
-    work->size = n;
-    work->job_id = job.id();
-    work->span = job.span();
-    GBuffer ib;
-    ib.host = in_buf;
-    ib.bytes = n * stride;
-    work->inputs.push_back(ib);
-    GBuffer ob;
-    ob.host = out_buf;
-    ob.bytes = n * stride;
-    work->outputs.push_back(ob);
-    co_await manager->run(work);
-    ++pl.gpu_batches;
-
-    for (std::size_t i = 0; i < n; ++i) {
-      Event next;
-      next.emitted = batch[i].emitted;
-      next.bytes.assign(out_buf->data() + i * stride, out_buf->data() + (i + 1) * stride);
-      co_await out.send(std::move(next));
-    }
-    batch.clear();
-  };
-
   while (true) {
     auto ev = co_await in.recv();
     if (!ev) break;
     batch.push_back(std::move(*ev));
     if (batch.size() >= op.batch_size) {
-      co_await flush();
+      co_await flush_gpu_batch(job, pl, op, memory, *manager, out, batch, stride);
     }
   }
-  co_await flush();  // partial tail batch at end of stream
+  // Partial tail batch at end of stream.
+  co_await flush_gpu_batch(job, pl, op, memory, *manager, out, batch, stride);
   out.close();
+}
+
+/// One keyed window's accumulator.
+struct WindowState {
+  std::vector<std::byte> accumulator;
+  std::size_t count = 0;
+  sim::Time last_emitted = 0;
+};
+
+/// Emit one full (or end-of-stream partial) window downstream. Named
+/// coroutine instead of a capturing lambda (gflint C1); awaited in-scope.
+sim::Co<void> emit_window(EventChannel& out, WindowState& w) {
+  Event next;
+  next.emitted = w.last_emitted;
+  next.bytes = w.accumulator;
+  w.count = 0;
+  co_await out.send(std::move(next));
 }
 
 sim::Co<void> window_loop(Engine& engine, Pipeline& pl, const StreamOp& op, EventChannel& in,
@@ -132,20 +160,7 @@ sim::Co<void> window_loop(Engine& engine, Pipeline& pl, const StreamOp& op, Even
   const net::Node& node = engine.cluster().node(pl.worker);
   const sim::Duration per_event = node.record_time(op.cost.flops, op.cost.bytes);
   const std::size_t stride = op.out_desc->stride();
-  struct WindowState {
-    std::vector<std::byte> accumulator;
-    std::size_t count = 0;
-    sim::Time last_emitted = 0;
-  };
   std::unordered_map<std::uint64_t, WindowState> windows;
-
-  auto emit = [&](WindowState& w) -> sim::Co<void> {
-    Event next;
-    next.emitted = w.last_emitted;
-    next.bytes = w.accumulator;
-    w.count = 0;
-    co_await out.send(std::move(next));
-  };
 
   while (true) {
     auto ev = co_await in.recv();
@@ -162,12 +177,12 @@ sim::Co<void> window_loop(Engine& engine, Pipeline& pl, const StreamOp& op, Even
     }
     w.last_emitted = ev->emitted;
     if (w.count >= op.window) {
-      co_await emit(w);
+      co_await emit_window(out, w);
     }
   }
   // End of stream: flush partial windows.
   for (auto& [key, w] : windows) {
-    if (w.count > 0) co_await emit(w);
+    if (w.count > 0) co_await emit_window(out, w);
   }
   (void)stride;
   out.close();
@@ -269,3 +284,4 @@ sim::Co<StreamingResult> run_streaming(Engine& engine, Job& job, const mem::Stru
 }
 
 }  // namespace gflink::core
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

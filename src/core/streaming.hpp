@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // Event-level stream processing — the paper's declared future direction
 // (§1.1: Flink was chosen over Spark because it treats batch as a special
 // case of streaming, and the authors planned a streaming GFlink).
@@ -94,3 +98,4 @@ sim::Co<StreamingResult> run_streaming(Engine& engine, Job& job,
                                        const StreamingConfig& config);
 
 }  // namespace gflink::core
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

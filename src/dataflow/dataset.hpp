@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // Typed DataSet facade — the user-facing API of the engine, mirroring
 // Flink's DataSet (and GFlink's GDST once the GPU operators from src/core
 // are applied to it).
@@ -334,3 +338,4 @@ sim::Co<DataHandle> join(Job& job, const DataHandle& left, const DataHandle& rig
 }
 
 }  // namespace gflink::dataflow
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 #include "dataflow/engine.hpp"
 
 #include <map>
@@ -955,3 +959,4 @@ sim::Co<void> Engine::gather(Job& job, std::uint64_t bytes_per_worker) {
 }
 
 }  // namespace gflink::dataflow
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

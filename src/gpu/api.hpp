@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // Host-side GPU APIs: the paper's two communication-channel layers (§4.1).
 //
 //  * CudaStub — the "native" layer (C++ talking to the driver directly).
@@ -192,3 +196,4 @@ class CudaWrapper {
 };
 
 }  // namespace gflink::gpu
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

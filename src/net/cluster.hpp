@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // Cluster topology and hardware specifications.
 //
 // A Cluster is a master node plus N worker nodes, each with a CPU model, a
@@ -157,11 +161,24 @@ class Pipe {
   /// run into a fresh or accumulating registry).
   void export_metrics(obs::MetricsRegistry& out) const {
     const obs::Labels l{{"pipe", name_}};
-    core::MutexLock lock(stats_mu_);
-    out.counter("net_pipe_bytes_total", l).inc(static_cast<double>(bytes_moved_));
-    out.counter("net_pipe_transfers_total", l).inc(static_cast<double>(transfers_));
-    out.counter("net_pipe_busy_ns_total", l).inc(static_cast<double>(busy_ns_));
-    out.counter("net_pipe_queue_wait_ns_total", l).inc(static_cast<double>(queue_wait_ns_));
+    // stats_mu_ is a leaf lock, so it must not be held while calling into the
+    // registry (which takes its own mu_; gflint L1). Snapshot the tuple under
+    // the lock, publish after release.
+    std::uint64_t bytes_moved = 0;
+    std::uint64_t transfers = 0;
+    Duration busy_ns = 0;
+    Duration queue_wait_ns = 0;
+    {
+      core::MutexLock lock(stats_mu_);
+      bytes_moved = bytes_moved_;
+      transfers = transfers_;
+      busy_ns = busy_ns_;
+      queue_wait_ns = queue_wait_ns_;
+    }
+    out.counter("net_pipe_bytes_total", l).inc(static_cast<double>(bytes_moved));
+    out.counter("net_pipe_transfers_total", l).inc(static_cast<double>(transfers));
+    out.counter("net_pipe_busy_ns_total", l).inc(static_cast<double>(busy_ns));
+    out.counter("net_pipe_queue_wait_ns_total", l).inc(static_cast<double>(queue_wait_ns));
   }
 
  private:
@@ -302,3 +319,4 @@ class Cluster {
 };
 
 }  // namespace gflink::net
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

@@ -80,14 +80,23 @@ const sim::Histogram* MetricsRegistry::find_histogram(const std::string& name,
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   if (&other == this) return;
-  // Both locks are needed (we read `other`, mutate `*this`). Merges run in
-  // one direction per process (bench accumulation), so the pair cannot
-  // invert; do not merge two registries into each other concurrently.
+  // Never hold both registries' locks at once: mu_ is a leaf lock, and two
+  // concurrent merges in opposite directions would deadlock on the inverted
+  // pair (gflint L1). Snapshot `other` under its lock alone, release, then
+  // fold the copies under ours.
+  std::map<MetricId, Counter> counters;
+  std::map<MetricId, Gauge> gauges;
+  std::map<MetricId, sim::Histogram> histograms;
+  {
+    core::MutexLock theirs(other.mu_);
+    counters = other.counters_;
+    gauges = other.gauges_;
+    histograms = other.histograms_;
+  }
   core::MutexLock self(mu_);
-  core::MutexLock theirs(other.mu_);
-  for (const auto& [id, c] : other.counters_) counters_[id].inc(c.value());
-  for (const auto& [id, g] : other.gauges_) gauges_[id].set(g.value());
-  for (const auto& [id, h] : other.histograms_) {
+  for (const auto& [id, c] : counters) counters_[id].inc(c.value());
+  for (const auto& [id, g] : gauges) gauges_[id].set(g.value());
+  for (const auto& [id, h] : histograms) {
     auto it = histograms_.find(id);
     if (it == histograms_.end()) {
       histograms_.emplace(id, h);

@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 #include "service/job_service.hpp"
 
 #include <algorithm>
@@ -191,6 +195,9 @@ void JobService::dispatch(Tenant& t, const TicketPtr& ticket) {
   engine_->metrics()
       .counter("service_dispatch_cost_total", {{"tenant", t.config.name}})
       .inc(ticket->cost);
+  // gflint: allow(C3): the JobService outlives the simulation it drives
+  // (owned by the harness that owns the Engine), and the ticket shared_ptr
+  // keeps the per-job state alive inside the frame.
   engine_->sim().spawn(run_job(t, ticket));
 }
 
@@ -286,3 +293,4 @@ obs::Json JobService::fairness_json() const {
 }
 
 }  // namespace gflink::service
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // JobService: the multi-tenant front end of the JobManager.
 //
 // The paper's GFlink runs one job graph at a time; its north-star
@@ -202,3 +206,4 @@ class JobService {
 };
 
 }  // namespace gflink::service
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

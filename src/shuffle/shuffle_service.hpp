@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // The shuffle subsystem (paper §4–§5: bulk block transfers that overlap
 // compute).
 //
@@ -313,3 +317,4 @@ class ShuffleService {
 };
 
 }  // namespace gflink::shuffle
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

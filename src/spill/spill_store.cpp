@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 #include "spill/spill_store.hpp"
 
 #include <algorithm>
@@ -146,6 +150,8 @@ void SpillStore::ensure_worker(int node) {
   if (st.live_workers >= config_.workers_per_node) return;
   if (st.queue.empty() && st.queue.parked_senders() == 0) return;
   ++st.live_workers;
+  // gflint: allow(C3): the SpillStore lives for the whole simulation and the
+  // worker drains its queue then exits; no frame survives `this`.
   sim_->spawn(worker_loop(node));
 }
 
@@ -319,3 +325,4 @@ void SpillStore::release(const BlockHandle& handle) {
 }
 
 }  // namespace gflink::spill
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // The tiered, asynchronously-offloaded spill store (ROADMAP item 4).
 //
 // DShuffle's core observation (and the GC-vs-serialization paper's
@@ -217,3 +221,4 @@ class SpillStore {
 };
 
 }  // namespace gflink::spill
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

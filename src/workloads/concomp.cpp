@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 #include "workloads/concomp.hpp"
 
 #include <set>
@@ -154,3 +158,4 @@ sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Test
 }
 
 }  // namespace gflink::workloads::concomp
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

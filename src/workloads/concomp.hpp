@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // ConnectedComponents by iterative label propagation, CPU and GFlink paths.
 //
 // Per iteration: every vertex sends its current label to itself and to all
@@ -37,3 +41,4 @@ sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Test
                     Mode mode, const Config& config);
 
 }  // namespace gflink::workloads::concomp
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

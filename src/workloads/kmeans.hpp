@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // KMeans clustering (HiBench-style), CPU and GFlink paths.
 //
 // Per iteration: assign every point to its nearest of k centers and emit a
@@ -42,3 +46,4 @@ sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Test
                     Mode mode, const Config& config);
 
 }  // namespace gflink::workloads::kmeans
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // PageRank over a fixed-out-degree web graph, CPU and GFlink paths.
 //
 // Per iteration: every page scatters rank/out_degree to its targets
@@ -41,3 +45,4 @@ sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Test
                     Mode mode, const Config& config);
 
 }  // namespace gflink::workloads::pagerank
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // PointAdd — the paper's running example (Algorithm 3.1): map each 2-D
 // point to {x + y, y}. Used by the Fig. 8 kernel-level and concurrency
 // experiments as the light third application.
@@ -27,3 +31,4 @@ sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Test
                     Mode mode, const Config& config);
 
 }  // namespace gflink::workloads::pointadd
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

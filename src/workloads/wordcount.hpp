@@ -1,3 +1,7 @@
+// NOLINTBEGIN(cppcoreguidelines-avoid-reference-coroutine-parameters)
+// Coroutines in this file are co_awaited in the caller's scope, so every
+// reference parameter outlives each suspension; detached launches are
+// separately policed by gflint rules C2/C3.
 // WordCount over Zipf-distributed text, CPU and GFlink paths.
 //
 // One-pass batch job: tokenized words (hashed ids) reduce by word. The job
@@ -31,3 +35,4 @@ sim::Co<Result> run(df::Engine& engine, core::GFlinkRuntime* runtime, const Test
                     Mode mode, const Config& config);
 
 }  // namespace gflink::workloads::wordcount
+// NOLINTEND(cppcoreguidelines-avoid-reference-coroutine-parameters)

@@ -1,0 +1,35 @@
+// Fixture: the PR-8 bug verbatim. A capturing lambda whose body contains
+// co_await is a coroutine; its closure object dies with the enclosing scope
+// while the frame lives on, so every capture is a dangling pointer at resume.
+
+namespace gflink::core {
+
+struct Inner {
+  int value = 0;
+};
+
+sim::Co<void> run(sim::Simulation& sim) {
+  Inner inner;
+  auto flush = [&inner]() -> sim::Co<void> {  // finding: [&inner] coroutine
+    co_await sim.delay(1);
+    inner.value += 1;
+  };
+  co_await flush();
+}
+
+class Engine {
+ public:
+  sim::Co<void> tick() {
+    auto step = [this]() -> sim::Co<void> {  // finding: [this] coroutine
+      co_await sim_->delay(1);
+      ++ticks_;
+    };
+    co_await step();
+  }
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+  int ticks_ = 0;
+};
+
+}  // namespace gflink::core

@@ -1,0 +1,33 @@
+// Fixture: the fixed forms of the PR-8 capturing-lambda bug. State travels
+// as parameters of a named coroutine (or a non-capturing lambda), so the
+// frame owns everything it touches.
+
+namespace gflink::core {
+
+struct Inner {
+  int value = 0;
+};
+
+sim::Co<void> bump(sim::Simulation& sim, Inner& inner) {
+  co_await sim.delay(1);
+  inner.value += 1;
+}
+
+sim::Co<void> run(sim::Simulation& sim) {
+  Inner inner;
+  // Named coroutine, state as parameters; awaited in-scope.
+  co_await bump(sim, inner);
+  // Non-capturing immediately-invoked lambda coroutine is also fine.
+  co_await [](sim::Simulation& s) -> sim::Co<void> {
+    co_await s.delay(1);
+  }(sim);
+}
+
+// A capturing lambda that merely *returns* another coroutine's Co<T> from a
+// plain `return` is not itself a coroutine: the closure finishes the moment
+// the call returns, so nothing dangles.
+inline auto make_task(sim::Simulation& sim, Inner& inner) {
+  return [&sim, &inner] { return bump(sim, inner); };
+}
+
+}  // namespace gflink::core

@@ -1,0 +1,25 @@
+// Fixture: the PR-8 dangling-parameter bug verbatim. A coroutine spawned
+// detached must own its strings by value: the temporary `name + "/x"` dies
+// with the spawn full-expression, and the frame resumes holding a dangling
+// reference.
+
+#include <string>
+
+namespace gflink::net {
+
+sim::Co<void> pinger(sim::Simulation& sim, const std::string& name) {
+  co_await sim.delay(10);
+  (void)name.size();
+}
+
+void start(sim::Simulation& sim, const std::string& name) {
+  // finding: pinger's `const std::string&` borrows from a temporary
+  sim.spawn(pinger(sim, name + "/x"));
+  // finding: detached lambda coroutine with a borrowing string_view param
+  sim.spawn([](std::string_view tag) -> sim::Co<void> {
+    co_await sim::yield();
+    (void)tag.size();
+  }(name + "/y"));
+}
+
+}  // namespace gflink::net

@@ -1,0 +1,22 @@
+// Fixture: the fixed form of the PR-8 dangling-parameter bug. A detached
+// coroutine takes strings by value (the frame owns the copy); long-lived
+// references (the Simulation itself) are passed as lvalues.
+
+#include <string>
+
+namespace gflink::net {
+
+sim::Co<void> pinger(sim::Simulation& sim, std::string name) {
+  co_await sim.delay(10);
+  (void)name.size();
+}
+
+void start(sim::Simulation& sim, const std::string& name) {
+  sim.spawn(pinger(sim, name + "/x"));  // by-value param owns the string
+  sim.spawn([](std::string tag) -> sim::Co<void> {
+    co_await sim::yield();
+    (void)tag.size();
+  }(name + "/y"));
+}
+
+}  // namespace gflink::net

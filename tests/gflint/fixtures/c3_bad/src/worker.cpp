@@ -1,0 +1,26 @@
+// Fixture: a member-function coroutine spawned detached with nothing tying
+// the object's lifetime to the frame. If the Worker is destroyed while the
+// loop is parked, the frame resumes on a dead `this`.
+
+namespace gflink::spill {
+
+class Worker {
+ public:
+  void start();
+  sim::Co<void> worker_loop();
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+};
+
+void Worker::start() {
+  sim_->spawn(worker_loop());  // finding: no keep-alive of `this`
+}
+
+sim::Co<void> Worker::worker_loop() {
+  for (;;) {
+    co_await sim_->delay(1);
+  }
+}
+
+}  // namespace gflink::spill

@@ -1,0 +1,26 @@
+// Fixture: the fixed form — the detached frame owns a shared_ptr to the
+// worker, so `this` cannot die while the loop is parked.
+
+#include <memory>
+
+namespace gflink::spill {
+
+class Worker : public std::enable_shared_from_this<Worker> {
+ public:
+  void start();
+  sim::Co<void> worker_loop(std::shared_ptr<Worker> self);
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+};
+
+void Worker::start() {
+  sim_->spawn(worker_loop(shared_from_this()));  // keep-alive in the spawn
+}
+
+sim::Co<void> Worker::worker_loop(std::shared_ptr<Worker> self) {
+  co_await sim_->delay(1);
+  (void)self;
+}
+
+}  // namespace gflink::spill

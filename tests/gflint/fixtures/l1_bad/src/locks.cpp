@@ -1,0 +1,38 @@
+// Fixture: two lock-order violations against the hierarchy documented in
+// docs/ARCHITECTURE.md — a rank inversion through direct MutexLock pairs,
+// and a leaf lock held (via GFLINK_REQUIRES) across a call that acquires a
+// ranked lock.
+
+namespace gflink::core {
+
+class Mgr {
+ public:
+  void reserve();
+  core::Mutex mu_;
+};
+
+class Alloc {
+ public:
+  core::Mutex mu_;
+};
+
+class Stats {
+ public:
+  void flush(Mgr& mgr) GFLINK_REQUIRES(mu_);
+  core::Mutex mu_;
+};
+
+void Mgr::reserve() {
+  core::MutexLock lock(mu_);
+}
+
+void rebalance(Alloc& alloc, Mgr& mgr) {
+  core::MutexLock a(alloc.mu_);  // rank 2
+  core::MutexLock b(mgr.mu_);    // finding: rank 1 acquired under rank 2
+}
+
+void Stats::flush(Mgr& mgr) {
+  mgr.reserve();  // finding: acquires Mgr::mu_ while leaf Stats::mu_ is held
+}
+
+}  // namespace gflink::core

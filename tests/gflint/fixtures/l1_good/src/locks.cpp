@@ -1,0 +1,39 @@
+// Fixture: the same lock set acquired legally — ranks strictly ascending,
+// and the leaf lock acquired last (or held alone).
+
+namespace gflink::core {
+
+class Mgr {
+ public:
+  void audit(class Stats& st);
+  core::Mutex mu_;
+};
+
+class Alloc {
+ public:
+  core::Mutex mu_;
+};
+
+class Stats {
+ public:
+  void flush();
+  core::Mutex mu_;
+  int total_ = 0;
+};
+
+void rebalance(Mgr& mgr, Alloc& alloc) {
+  core::MutexLock a(mgr.mu_);    // rank 1
+  core::MutexLock b(alloc.mu_);  // rank 2 — ascending, fine
+}
+
+void Stats::flush() {
+  core::MutexLock lock(mu_);  // leaf, held alone
+  total_ += 1;
+}
+
+void Mgr::audit(Stats& st) {
+  core::MutexLock lock(mu_);  // rank 1
+  st.flush();                 // ranked -> leaf is always fine
+}
+
+}  // namespace gflink::core

@@ -1,0 +1,30 @@
+// Fixture: token-stream regression corpus. Every pattern below that used to
+// trip the regex-era R1/R2/R3 lives inside a comment, a string literal, or a
+// raw string — the token-aware engine must report nothing.
+//
+//   mgr.memory().allocate(bytes);
+//   cuda_malloc(dev, n);
+//   std::mutex legacy_mu_;
+//   core::Mutex ghost_mu_;
+//   metrics.counter("ghost_metric_total").inc(1);
+
+/* Block comment with more of the same:
+   pool.memory().free(buf);
+   std::recursive_mutex nested_mu_;
+   registry.gauge("block_comment_metric").set(2.0);
+*/
+
+namespace gflink::core {
+
+const char* kDoc =
+    "call mgr.memory().allocate(1) then metrics.counter(\"str_metric\")";
+
+const char* kRaw = R"doc(
+  std::shared_mutex table_mu_;
+  cuda_free(ptr);
+  registry.histogram("raw_string_metric", 0, 1, 8).add(0.5);
+)doc";
+
+int widget_count() { return 2; }
+
+}  // namespace gflink::core
