@@ -47,7 +47,9 @@ class GMemoryManager {
   /// Attach the node's flight recorder: cache evictions and staging-ring
   /// failures become flight events (memory pressure is the usual suspect
   /// when a fault dump is being read). `sim` supplies the clock; the
-  /// recorder is lock-free, so noting events under mu_ is safe.
+  /// recorder's mutex is a leaf in the lock hierarchy (and the recorder
+  /// acquires nothing else while holding it), so noting events under mu_
+  /// (rank 1) is safe.
   void attach_flight(obs::FlightRecorder* flight, int node, sim::Simulation* sim) {
     flight_ = flight;
     flight_node_ = node;
@@ -221,7 +223,7 @@ class GMemoryManager {
   std::vector<gpu::GpuDevice*> devices_;
   std::uint64_t region_capacity_;
   CachePolicy policy_;
-  // Flight hook (simulation-plane, lock-free; see attach_flight()).
+  // Flight hook (host-plane, leaf-locked; see attach_flight()).
   obs::FlightRecorder* flight_ = nullptr;
   int flight_node_ = -1;
   sim::Simulation* flight_sim_ = nullptr;

@@ -90,6 +90,11 @@ Engine::Engine(const EngineConfig& config)
                                                 config_.memory_pages_per_worker));
   }
   default_parallelism_ = cluster_.num_workers() * slots;
+  task_busy_ns_.push_back(nullptr);  // node 0 is the master
+  for (int w = 1; w <= cluster_.num_workers(); ++w) {
+    task_busy_ns_.push_back(
+        &cluster_.metrics().counter("engine.task_busy_ns", {{"node", std::to_string(w)}}));
+  }
   alive_.assign(static_cast<std::size_t>(cluster_.num_workers()) + 1, true);
   dfs_.set_liveness([this](int node) { return worker_alive(node); });
 }
@@ -137,6 +142,9 @@ sim::Co<void> Engine::work_delay(int worker, sim::Duration d) {
     const sim::Duration step = std::min(chunk, remaining);
     co_await sim_.delay(step);
     remaining -= step;
+    // Per-chunk (not per-task) so a telemetry sample mid-task still sees
+    // the node's busy time advance — tasks can outlive a sample period.
+    task_busy_ns_[static_cast<std::size_t>(worker)]->inc(static_cast<double>(step));
     if (!worker_alive(worker)) throw TaskFailed{worker};
   }
 }

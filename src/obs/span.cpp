@@ -294,9 +294,7 @@ std::vector<Straggler> find_stragglers(const SpanStore& store, std::size_t min_g
     std::vector<sim::Duration> durations;
     durations.reserve(members.size());
     for (const CausalSpan* s : members) durations.push_back(s->duration());
-    std::sort(durations.begin(), durations.end());
-    const auto rank = static_cast<std::size_t>(0.95 * static_cast<double>(durations.size() - 1));
-    const sim::Duration p95 = durations[rank];
+    const sim::Duration p95 = nearest_rank_p95(std::move(durations));
     for (const CausalSpan* s : members) {
       if (s->duration() <= p95) continue;
       Straggler st;

@@ -20,6 +20,7 @@
 // It takes no lock; do not touch it from host-plane threads.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -155,6 +156,20 @@ CriticalPath extract_critical_path(const SpanStore& store);
 void export_critical_path_metrics(const CriticalPath& cp, MetricsRegistry& m);
 
 // ---- Straggler attribution -------------------------------------------------
+
+/// Nearest-rank p95 over a peer group: sort ascending and take the value at
+/// index floor(0.95 * (n - 1)). This is the single definition of "the peer
+/// group's p95" — find_stragglers() (post-hoc span report) and the live
+/// telemetry straggler detector both call it, so an offline straggler and a
+/// live straggler agree on what "slower than the peers" means. Empty input
+/// returns a default-constructed T.
+template <typename T>
+T nearest_rank_p95(std::vector<T> values) {
+  if (values.empty()) return T{};
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(0.95 * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
 
 struct Straggler {
   SpanId span = 0;

@@ -69,6 +69,19 @@ JobService::Tenant& JobService::tenant_of(const std::string& name) {
   return *tenants_[it->second];
 }
 
+std::size_t JobService::tenant_pending(const std::string& name) const {
+  auto it = tenant_index_.find(name);
+  if (it == tenant_index_.end()) return 0;
+  return tenants_[it->second]->queue.size();
+}
+
+std::vector<std::string> JobService::tenant_names() const {
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& t : tenants_) out.push_back(t->config.name);
+  return out;
+}
+
 TicketPtr JobService::submit(const std::string& tenant, std::string job_name, double cost,
                              JobBody body) {
   GFLINK_CHECK(cost > 0.0);
@@ -237,6 +250,7 @@ sim::Co<void> JobService::run_job(Tenant& t, TicketPtr ticket) {
   ++completed_;
   --t.in_flight;
   --total_in_flight_;
+  if (observer_) observer_(t.config.name, ticket->completed_at - ticket->enqueued_at);
   ticket->done_->fire();
   pump();  // a slot freed: let the fair scheduler dispatch the next job
 }

@@ -128,6 +128,11 @@ class JobService {
   sim::Co<void> drain();
 
   std::size_t pending() const { return pending_count_; }
+  /// Depth of one tenant's admission queue (0 for unknown tenants) — the
+  /// live telemetry plane samples this each period.
+  std::size_t tenant_pending(const std::string& name) const;
+  /// Registered tenant names in deterministic DRR order (telemetry wiring).
+  std::vector<std::string> tenant_names() const;
   int in_flight() const { return total_in_flight_; }
   std::uint64_t completed() const { return completed_; }
   std::uint64_t rejected() const { return rejected_; }
@@ -154,6 +159,13 @@ class JobService {
   /// weight, configured vs. achieved shares (throughput and GPU cache), and
   /// the latency percentiles split into queue wait and run.
   obs::Json fairness_json() const;
+
+  /// Called on every job completion with the tenant and the end-to-end
+  /// latency (enqueue -> completion). The telemetry aggregator's SLO
+  /// burn-rate detector feeds on this; it runs synchronously on the
+  /// simulation thread, so keep it cheap.
+  using CompletionObserver = std::function<void(const std::string& tenant, sim::Duration latency)>;
+  void set_completion_observer(CompletionObserver observer) { observer_ = std::move(observer); }
 
  private:
   struct Tenant {
@@ -198,6 +210,7 @@ class JobService {
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t cancelled_ = 0;
+  CompletionObserver observer_;
   bool pumping_ = false;
   // DRR cursor: the tenant currently being served, and whether it already
   // received this visit's credit (persists across pump() calls — see pump).

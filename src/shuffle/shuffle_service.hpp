@@ -271,6 +271,13 @@ class ShuffleService {
     return max_in_flight_;
   }
 
+  /// Blocks in flight right now (sent, not yet deposited) — the live
+  /// telemetry plane samples this each period.
+  std::int64_t blocks_in_flight() const {
+    core::MutexLock lock(mu_);
+    return in_flight_;
+  }
+
   /// Bytes currently resident in `worker`'s exchange buffer (deposited, not
   /// yet taken, not spilled).
   std::uint64_t resident_bytes(int worker) const;

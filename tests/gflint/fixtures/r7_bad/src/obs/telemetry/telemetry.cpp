@@ -1,0 +1,25 @@
+// Fixture: telemetry series without units suffixes and a HealthEvent
+// emission without a node attribution (3 findings: the unsuffixed
+// counter, the unsuffixed add_gauge series, and the node-less event; the
+// suffixed sites and the struct definition below are fine).
+#include "obs/telemetry/telemetry.hpp"
+
+namespace gflink::obs::telemetry {
+
+struct HealthEvent {  // ok: the type's own definition, not an emission
+  long at = 0;
+  int node = -1;
+};
+
+void emit(MetricsRegistry& metrics, NodeSampler& sampler,
+          std::vector<HealthEvent>& events, long at) {
+  metrics.counter("telemetry_samples").inc();  // BAD: no units suffix
+  sampler.add_gauge("telemetry_queue_depth", {}, [] { return 0.0; });  // BAD
+  events.push_back(HealthEvent{.at = at});  // BAD: no node attribution
+  metrics.counter("telemetry_periods_total").inc();            // ok
+  sampler.add_gauge("telemetry_gpu_cache_used_bytes", {},      // ok
+                    [] { return 0.0; });
+  events.push_back(HealthEvent{.at = at, .node = 3});          // ok
+}
+
+}  // namespace gflink::obs::telemetry

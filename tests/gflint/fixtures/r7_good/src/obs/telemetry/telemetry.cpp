@@ -1,0 +1,23 @@
+// Fixture: every telemetry series carries a units suffix and every
+// HealthEvent emission carries a node attribution.
+#include "obs/telemetry/telemetry.hpp"
+
+namespace gflink::obs::telemetry {
+
+struct HealthEvent {
+  long at = 0;
+  int node = -1;
+};
+
+void emit(MetricsRegistry& metrics, NodeSampler& sampler,
+          std::vector<HealthEvent>& events, long at, int node) {
+  metrics.counter("telemetry_samples_total").inc();
+  metrics.gauge("telemetry_snapshot_bytes").set(64.0);
+  sampler.add_gauge("telemetry_gstream_queue_depth_total", {}, [] { return 0.0; });
+  sampler.add_counter("telemetry_task_busy_ns", {}, [] { return 0.0; });
+  sampler.add_gauge("telemetry_tenant_quota_used_ratio", {{"tenant", "prod"}},
+                    [] { return 0.0; });
+  events.push_back(HealthEvent{.at = at, .node = node});
+}
+
+}  // namespace gflink::obs::telemetry

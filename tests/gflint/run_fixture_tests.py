@@ -36,6 +36,8 @@ CASES = [
     ("r5_good", "R5", 0, {}),
     ("r6_bad", "R6", 1, {"R6": 3}),
     ("r6_good", "R6", 0, {}),
+    ("r7_bad", "R7", 1, {"R7": 3}),
+    ("r7_good", "R7", 0, {}),
     # Coroutine-lifetime family (PR-8 bug shapes).
     ("c1_bad", "C1", 1, {"C1": 2}),
     ("c1_good", "C1", 0, {}),

@@ -12,7 +12,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +26,7 @@
 #include "gpu/device_memory.hpp"
 #include "gpu/device_spec.hpp"
 #include "net/cluster.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
@@ -216,4 +220,81 @@ TEST(Threading, DeviceOverlapAccounting) {
   });
   marker.join();
   EXPECT_EQ(dev.copy_compute_overlap(), 0);
+}
+
+TEST(Threading, FlightRecorderConcurrentWritersWrapTheRings) {
+  // Small capacity so every ring wraps many times while the writers race.
+  obs::FlightRecorder flight(16);
+  std::atomic<std::uint64_t> span_id{1};
+  run_threads([&](int t) {
+    for (int i = 0; i < kIters; ++i) {
+      // Events and spans interleave across a handful of shared nodes, so
+      // threads contend on the *same* rings, not private ones.
+      const int node = i % 4;
+      flight.note_event(i, node, "stress_event", "t" + std::to_string(t));
+      obs::CausalSpan span;
+      span.id = span_id.fetch_add(1, std::memory_order_relaxed);
+      span.node = node;
+      span.name = "stress_span";
+      span.begin = i;
+      span.end = i + 1;
+      flight.on_span_closed(span);
+    }
+  });
+  EXPECT_EQ(flight.events_seen(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(flight.faults(), 0u);
+  // Dump correctness after heavy wraparound: every ring is bounded by the
+  // capacity and the totals survived intact.
+  const obs::Json dump = flight.to_json();
+  const std::string text = dump.dump();
+  EXPECT_NE(text.find("\"gflink.flight_dump/v1\""), std::string::npos);
+  EXPECT_NE(text.find("stress_event"), std::string::npos);
+  EXPECT_NE(text.find("stress_span"), std::string::npos);
+}
+
+TEST(Threading, FlightRecorderConcurrentFaultsElectOneDumper) {
+  obs::FlightRecorder flight(8);
+  const std::string path = "flight_threads_dump.json";
+  std::remove(path.c_str());
+  flight.set_dump_path(path);
+  run_threads([&](int t) {
+    for (int i = 0; i < 200; ++i) {
+      flight.note_fault(i, t % 4, "stress_fault", std::to_string(i));
+    }
+  });
+  EXPECT_EQ(flight.faults(), static_cast<std::uint64_t>(kThreads) * 200);
+  // Exactly one of the racing first faults wrote the auto-dump.
+  EXPECT_EQ(flight.dumps(), 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"gflink.flight_dump/v1\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Threading, FlightRecorderReadersRaceWriters) {
+  obs::FlightRecorder flight(32);
+  obs::MetricsRegistry registry;
+  std::atomic<bool> done{false};
+  // Half the threads write, half snapshot (to_json / export_metrics /
+  // dump_now) — the host-plane contention TSan needs to see.
+  std::thread writer([&] {
+    for (int i = 0; i < kIters; ++i) {
+      flight.note_event(i, i % 8, "race_event", "");
+      if (i % 64 == 0) flight.clear();
+    }
+    done.store(true, std::memory_order_release);
+  });
+  run_threads([&](int t) {
+    while (!done.load(std::memory_order_acquire)) {
+      if (t % 2 == 0) {
+        (void)flight.to_json();
+      } else {
+        flight.export_metrics(registry);
+      }
+    }
+  });
+  writer.join();
+  EXPECT_GE(registry.counter_value("flight_events_total"), 0.0);
 }

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Regenerate (or check) the EXPERIMENTS.md health-detector table.
+
+Reads BENCH_telemetry.json (a gflink.run_report/v3 written by
+bench/bench_telemetry), renders the detector table between the
+`<!-- health-table:begin -->` / `<!-- health-table:end -->` markers in
+EXPERIMENTS.md, and either rewrites the file in place (default) or, with
+--check, fails if the committed numbers drift from the fresh run by more
+than --tolerance (relative) per cell. Two invariants are always enforced,
+check or not: the injected straggler must be attributed to worker 4, and
+the sampling overhead on the default PageRank run must stay under the 2%
+budget the telemetry plane promises.
+
+Usage:
+  tools/gen_health_table.py --report BENCH_telemetry.json [--check]
+      [--experiments EXPERIMENTS.md] [--tolerance 0.05]
+"""
+
+import re
+import sys
+
+import tablelib
+
+BEGIN = "<!-- health-table:begin -->"
+END = "<!-- health-table:end -->"
+OVERHEAD_BUDGET = 0.02
+GAUGES = [
+    "health_straggler_detect_ms", "health_straggler_node",
+    "health_straggler_score", "health_slo_detect_ms", "health_slo_burn_rate",
+    "health_events_emitted", "telemetry_scenario_periods",
+    "telemetry_overhead_ratio",
+]
+
+
+def load_gauges(report_path):
+    report = tablelib.load_json_report(report_path)
+    gauges = {name: value for name, _labels, value in tablelib.iter_gauges(report)
+              if name in GAUGES}
+    missing = [name for name in GAUGES if name not in gauges]
+    tablelib.missing_cells_exit(report_path, missing, "bench_telemetry",
+                                what="gauges")
+    return gauges
+
+
+def check_invariants(gauges):
+    node = int(gauges["health_straggler_node"])
+    if node != 4:
+        sys.exit(f"error: straggler detector attributed worker {node}, "
+                 "expected the injected straggler on worker 4")
+    ratio = gauges["telemetry_overhead_ratio"]
+    if ratio >= OVERHEAD_BUDGET:
+        sys.exit(f"error: telemetry sampling overhead {ratio:.2%} on default "
+                 f"PageRank breaks the {OVERHEAD_BUDGET:.0%} budget")
+
+
+def render_table(gauges):
+    node = int(gauges["health_straggler_node"])
+    return "\n".join([
+        "| Detector | Fires at (sim ms) | Attributed to | Detector value |",
+        "|---|---|---|---|",
+        f"| straggler | {gauges['health_straggler_detect_ms']:.3f} "
+        f"| worker {node} | {gauges['health_straggler_score']:.2f} |",
+        f"| slo_burn | {gauges['health_slo_detect_ms']:.3f} "
+        f"| tenant prod | {gauges['health_slo_burn_rate']:.2f} |",
+        "",
+        f"Scenario: {gauges['telemetry_scenario_periods']:.0f} sampling periods, "
+        f"{gauges['health_events_emitted']:.0f} health events; sampling overhead "
+        f"on default PageRank {gauges['telemetry_overhead_ratio']:.2%} "
+        f"(budget {OVERHEAD_BUDGET:.0%}).",
+    ])
+
+
+def parse_committed(block):
+    """-> {detector: (detect_ms, value)} parsed out of the committed table."""
+    committed = {}
+    row = re.compile(r"^\| (\w+) \| ([0-9.]+) \| [^|]* \| ([0-9.]+) \|", re.M)
+    for match in row.finditer(block):
+        committed[match.group(1)] = (float(match.group(2)), float(match.group(3)))
+    return committed
+
+
+def main():
+    args = tablelib.make_parser(__doc__, "BENCH_telemetry.json").parse_args()
+    gauges = load_gauges(args.report)
+    check_invariants(gauges)
+
+    def compare(block):
+        committed = parse_committed(block)
+        cells = []
+        for detector, ms_key, val_key in (
+                ("straggler", "health_straggler_detect_ms", "health_straggler_score"),
+                ("slo_burn", "health_slo_detect_ms", "health_slo_burn_rate")):
+            row = committed.get(detector)
+            cells.append((f"{detector} detect-ms",
+                          row[0] if row else None, gauges[ms_key], ".3f"))
+            cells.append((f"{detector} value",
+                          row[1] if row else None, gauges[val_key], ".2f"))
+        return tablelib.drift_failures(cells, args.tolerance)
+
+    tablelib.check_or_write(args, BEGIN, END, render_table(gauges), compare,
+                            "health-detector table", "gen_health_table.py")
+
+
+if __name__ == "__main__":
+    main()

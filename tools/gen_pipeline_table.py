@@ -14,10 +14,10 @@ Usage:
       [--experiments EXPERIMENTS.md] [--tolerance 0.05]
 """
 
-import argparse
-import json
 import re
 import sys
+
+import tablelib
 
 CHUNKS = ["monolithic", "256KB", "1MB", "4MB"]
 BEGIN = "<!-- pipeline-ablation:begin -->"
@@ -25,22 +25,19 @@ END = "<!-- pipeline-ablation:end -->"
 
 
 def load_gauges(report_path):
-    with open(report_path) as f:
-        report = json.load(f)
+    report = tablelib.load_json_report(report_path)
     gauges = {}
-    for gauge in report.get("metrics", {}).get("gauges", []):
-        name = gauge.get("name", "")
+    for name, labels, value in tablelib.iter_gauges(report):
         if not name.startswith("ablation_pipeline_"):
             continue
-        chunk = gauge.get("labels", {}).get("chunk")
+        chunk = labels.get("chunk")
         if chunk is None:
             continue
-        gauges.setdefault(chunk, {})[name] = float(gauge["value"])
+        gauges.setdefault(chunk, {})[name] = value
     missing = [c for c in CHUNKS if c not in gauges
                or "ablation_pipeline_seconds" not in gauges[c]]
-    if missing:
-        sys.exit(f"error: {report_path} is missing chunk configs {missing}; "
-                 "re-run bench_ablation_pipeline")
+    tablelib.missing_cells_exit(report_path, missing, "bench_ablation_pipeline",
+                                what="chunk configs")
     return gauges
 
 
@@ -68,15 +65,7 @@ def parse_committed(block):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--report", default="BENCH_ablation_pipeline.json")
-    ap.add_argument("--experiments", default="EXPERIMENTS.md")
-    ap.add_argument("--tolerance", type=float, default=0.05,
-                    help="allowed relative drift per config in --check")
-    ap.add_argument("--check", action="store_true",
-                    help="fail on drift instead of rewriting the table")
-    args = ap.parse_args()
-
+    args = tablelib.make_parser(__doc__, "BENCH_ablation_pipeline.json").parse_args()
     gauges = load_gauges(args.report)
     mono = gauges["monolithic"]["ablation_pipeline_seconds"]
     best = min(gauges[c]["ablation_pipeline_seconds"] for c in CHUNKS if c != "monolithic")
@@ -84,37 +73,15 @@ def main():
         sys.exit("error: no chunked configuration beats the monolithic baseline "
                  f"(best {best:.4f} vs monolithic {mono:.4f} s)")
 
-    with open(args.experiments) as f:
-        text = f.read()
-    pattern = re.compile(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.S)
-    found = pattern.search(text)
-    if not found:
-        sys.exit(f"error: {args.experiments} lacks the {BEGIN} ... {END} markers")
+    def compare(block):
+        committed = parse_committed(block)
+        return tablelib.drift_failures(
+            [(c, committed.get(c), gauges[c]["ablation_pipeline_seconds"], ".4f")
+             for c in CHUNKS],
+            args.tolerance, missing_what="config")
 
-    if args.check:
-        committed = parse_committed(found.group(1))
-        failures = []
-        for chunk in CHUNKS:
-            secs = gauges[chunk]["ablation_pipeline_seconds"]
-            if chunk not in committed:
-                failures.append(f"config '{chunk}' missing from committed table")
-                continue
-            drift = abs(committed[chunk] - secs) / secs
-            if drift > args.tolerance:
-                failures.append(
-                    f"{chunk}: committed {committed[chunk]:.4f} s vs measured "
-                    f"{secs:.4f} s (drift {drift:.1%} > {args.tolerance:.0%})")
-        if failures:
-            sys.exit("EXPERIMENTS.md pipeline-ablation table drifted:\n  "
-                     + "\n  ".join(failures)
-                     + "\nRegenerate with tools/gen_pipeline_table.py")
-        print("pipeline-ablation table matches the fresh run")
-        return
-
-    replacement = f"{BEGIN}\n{render_table(gauges)}\n{END}"
-    with open(args.experiments, "w") as f:
-        f.write(pattern.sub(lambda _: replacement, text))
-    print(f"updated {args.experiments}")
+    tablelib.check_or_write(args, BEGIN, END, render_table(gauges), compare,
+                            "pipeline-ablation table", "gen_pipeline_table.py")
 
 
 if __name__ == "__main__":

@@ -16,10 +16,10 @@ Usage:
       [--experiments EXPERIMENTS.md] [--tolerance 0.05]
 """
 
-import argparse
-import json
 import re
 import sys
+
+import tablelib
 
 MODES = ["barrier", "pipelined", "one_sided"]
 DISTS = ["uniform", "skewed"]
@@ -29,17 +29,13 @@ END = "<!-- shuffle-ablation:end -->"
 
 def load_seconds(report_path):
     """-> {(mode, dist): seconds}, failing if any of the 6 cells is absent."""
-    with open(report_path) as f:
-        report = json.load(f)
+    report = tablelib.load_json_report(report_path)
     seconds = {}
-    for gauge in report.get("metrics", {}).get("gauges", []):
-        if gauge.get("name") == "ablation_shuffle_seconds":
-            labels = gauge.get("labels", {})
-            seconds[(labels.get("mode"), labels.get("dist"))] = float(gauge["value"])
+    for name, labels, value in tablelib.iter_gauges(report):
+        if name == "ablation_shuffle_seconds":
+            seconds[(labels.get("mode"), labels.get("dist"))] = value
     missing = [f"{m}/{d}" for m in MODES for d in DISTS if (m, d) not in seconds]
-    if missing:
-        sys.exit(f"error: {report_path} is missing cells {missing}; "
-                 "re-run bench_ablation_shuffle")
+    tablelib.missing_cells_exit(report_path, missing, "bench_ablation_shuffle")
     return seconds
 
 
@@ -83,50 +79,19 @@ def check_ordering(seconds):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--report", default="BENCH_ablation_shuffle.json")
-    ap.add_argument("--experiments", default="EXPERIMENTS.md")
-    ap.add_argument("--tolerance", type=float, default=0.05,
-                    help="allowed relative drift per cell in --check")
-    ap.add_argument("--check", action="store_true",
-                    help="fail on drift instead of rewriting the table")
-    args = ap.parse_args()
-
+    args = tablelib.make_parser(__doc__, "BENCH_ablation_shuffle.json").parse_args()
     seconds = load_seconds(args.report)
     check_ordering(seconds)
 
-    with open(args.experiments) as f:
-        text = f.read()
-    pattern = re.compile(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.S)
-    found = pattern.search(text)
-    if not found:
-        sys.exit(f"error: {args.experiments} lacks the {BEGIN} ... {END} markers")
+    def compare(block):
+        committed = parse_committed(block)
+        return tablelib.drift_failures(
+            [(f"{m}/{d}", committed.get((m, d)), seconds[(m, d)], ".2f")
+             for m in MODES for d in DISTS],
+            args.tolerance)
 
-    if args.check:
-        committed = parse_committed(found.group(1))
-        failures = []
-        for mode in MODES:
-            for dist in DISTS:
-                cell = (mode, dist)
-                if cell not in committed:
-                    failures.append(f"cell '{mode}/{dist}' missing from committed table")
-                    continue
-                drift = abs(committed[cell] - seconds[cell]) / seconds[cell]
-                if drift > args.tolerance:
-                    failures.append(
-                        f"{mode}/{dist}: committed {committed[cell]:.2f} s vs measured "
-                        f"{seconds[cell]:.2f} s (drift {drift:.1%} > {args.tolerance:.0%})")
-        if failures:
-            sys.exit("EXPERIMENTS.md shuffle-ablation table drifted:\n  "
-                     + "\n  ".join(failures)
-                     + "\nRegenerate with tools/gen_shuffle_table.py")
-        print("shuffle-ablation table matches the fresh run")
-        return
-
-    replacement = f"{BEGIN}\n{render_table(seconds)}\n{END}"
-    with open(args.experiments, "w") as f:
-        f.write(pattern.sub(lambda _: replacement, text))
-    print(f"updated {args.experiments}")
+    tablelib.check_or_write(args, BEGIN, END, render_table(seconds), compare,
+                            "shuffle-ablation table", "gen_shuffle_table.py")
 
 
 if __name__ == "__main__":

@@ -15,10 +15,10 @@ Usage:
       [--experiments EXPERIMENTS.md] [--tolerance 0.05]
 """
 
-import argparse
-import json
 import re
 import sys
+
+import tablelib
 
 PATHS = ["sync", "async"]
 CODECS = ["none", "lz"]
@@ -28,21 +28,17 @@ END = "<!-- spill-ablation:end -->"
 
 def load_gauges(report_path):
     """-> ({(path, codec): seconds}, {(path, codec): stall_seconds})."""
-    with open(report_path) as f:
-        report = json.load(f)
+    report = tablelib.load_json_report(report_path)
     seconds, stalls = {}, {}
-    for gauge in report.get("metrics", {}).get("gauges", []):
-        labels = gauge.get("labels", {})
+    for name, labels, value in tablelib.iter_gauges(report):
         cell = (labels.get("path"), labels.get("codec"))
-        if gauge.get("name") == "ablation_spill_seconds":
-            seconds[cell] = float(gauge["value"])
-        elif gauge.get("name") == "ablation_spill_stall_seconds":
-            stalls[cell] = float(gauge["value"])
+        if name == "ablation_spill_seconds":
+            seconds[cell] = value
+        elif name == "ablation_spill_stall_seconds":
+            stalls[cell] = value
     missing = [f"{p}/{c}" for p in PATHS for c in CODECS
                if (p, c) not in seconds or (p, c) not in stalls]
-    if missing:
-        sys.exit(f"error: {report_path} is missing cells {missing}; "
-                 "re-run bench_ablation_spill")
+    tablelib.missing_cells_exit(report_path, missing, "bench_ablation_spill")
     return seconds, stalls
 
 
@@ -84,50 +80,19 @@ def check_ordering(seconds):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--report", default="BENCH_ablation_spill.json")
-    ap.add_argument("--experiments", default="EXPERIMENTS.md")
-    ap.add_argument("--tolerance", type=float, default=0.05,
-                    help="allowed relative drift per cell in --check")
-    ap.add_argument("--check", action="store_true",
-                    help="fail on drift instead of rewriting the table")
-    args = ap.parse_args()
-
+    args = tablelib.make_parser(__doc__, "BENCH_ablation_spill.json").parse_args()
     seconds, stalls = load_gauges(args.report)
     check_ordering(seconds)
 
-    with open(args.experiments) as f:
-        text = f.read()
-    pattern = re.compile(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.S)
-    found = pattern.search(text)
-    if not found:
-        sys.exit(f"error: {args.experiments} lacks the {BEGIN} ... {END} markers")
+    def compare(block):
+        committed = parse_committed(block)
+        return tablelib.drift_failures(
+            [(f"{p}/{c}", committed.get((p, c)), seconds[(p, c)], ".2f")
+             for p in PATHS for c in CODECS],
+            args.tolerance)
 
-    if args.check:
-        committed = parse_committed(found.group(1))
-        failures = []
-        for path in PATHS:
-            for codec in CODECS:
-                cell = (path, codec)
-                if cell not in committed:
-                    failures.append(f"cell '{path}/{codec}' missing from committed table")
-                    continue
-                drift = abs(committed[cell] - seconds[cell]) / seconds[cell]
-                if drift > args.tolerance:
-                    failures.append(
-                        f"{path}/{codec}: committed {committed[cell]:.2f} s vs measured "
-                        f"{seconds[cell]:.2f} s (drift {drift:.1%} > {args.tolerance:.0%})")
-        if failures:
-            sys.exit("EXPERIMENTS.md spill-ablation table drifted:\n  "
-                     + "\n  ".join(failures)
-                     + "\nRegenerate with tools/gen_spill_table.py")
-        print("spill-ablation table matches the fresh run")
-        return
-
-    replacement = f"{BEGIN}\n{render_table(seconds, stalls)}\n{END}"
-    with open(args.experiments, "w") as f:
-        f.write(pattern.sub(lambda _: replacement, text))
-    print(f"updated {args.experiments}")
+    tablelib.check_or_write(args, BEGIN, END, render_table(seconds, stalls), compare,
+                            "spill-ablation table", "gen_spill_table.py")
 
 
 if __name__ == "__main__":

@@ -16,31 +16,31 @@ Usage:
       [--fairness-tolerance 0.10]
 """
 
-import argparse
-import json
 import re
 import sys
 
+import tablelib
+
 TENANTS = ["gold", "silver", "bronze"]
+CELLS = [("weight", "multitenant_weight_share"),
+         ("throughput", "multitenant_throughput_share"),
+         ("cache", "multitenant_cache_share"),
+         ("p99", "multitenant_p99_latency_s")]
 BEGIN = "<!-- multitenant:begin -->"
 END = "<!-- multitenant:end -->"
 
 
 def load_report(report_path):
-    with open(report_path) as f:
-        report = json.load(f)
+    report = tablelib.load_json_report(report_path)
     gauges = {}
-    for gauge in report.get("metrics", {}).get("gauges", []):
-        name = gauge.get("name", "")
+    for name, labels, value in tablelib.iter_gauges(report):
         if not name.startswith("multitenant_"):
             continue
-        tenant = gauge.get("labels", {}).get("tenant")
-        gauges.setdefault(tenant, {})[name] = float(gauge["value"])
+        gauges.setdefault(labels.get("tenant"), {})[name] = value
     missing = [t for t in TENANTS if t not in gauges
                or "multitenant_throughput_share" not in gauges[t]]
-    if missing:
-        sys.exit(f"error: {report_path} is missing tenants {missing}; "
-                 "re-run bench_multitenant")
+    tablelib.missing_cells_exit(report_path, missing, "bench_multitenant",
+                                what="tenants")
     if "multitenant_jobs_per_second" not in gauges.get(None, {}):
         sys.exit(f"error: {report_path} lacks multitenant_jobs_per_second; "
                  "re-run bench_multitenant")
@@ -92,15 +92,9 @@ def parse_committed(block):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--report", default="BENCH_multitenant.json")
-    ap.add_argument("--experiments", default="EXPERIMENTS.md")
-    ap.add_argument("--tolerance", type=float, default=0.05,
-                    help="allowed relative drift per cell in --check")
+    ap = tablelib.make_parser(__doc__, "BENCH_multitenant.json")
     ap.add_argument("--fairness-tolerance", type=float, default=0.10,
                     help="allowed share-vs-weight deviation (always enforced)")
-    ap.add_argument("--check", action="store_true",
-                    help="fail on drift instead of rewriting the table")
     args = ap.parse_args()
 
     gauges = load_report(args.report)
@@ -109,43 +103,19 @@ def main():
         sys.exit("weighted-fair service missed its configured shares:\n  "
                  + "\n  ".join(unfair))
 
-    with open(args.experiments) as f:
-        text = f.read()
-    pattern = re.compile(re.escape(BEGIN) + r"\n(.*?)" + re.escape(END), re.S)
-    found = pattern.search(text)
-    if not found:
-        sys.exit(f"error: {args.experiments} lacks the {BEGIN} ... {END} markers")
-
-    if args.check:
-        committed = parse_committed(found.group(1))
-        failures = []
+    def compare(block):
+        committed = parse_committed(block)
+        cells = []
         for tenant in TENANTS:
-            g = gauges[tenant]
-            fresh = (g["multitenant_weight_share"],
-                     g["multitenant_throughput_share"],
-                     g["multitenant_cache_share"],
-                     g["multitenant_p99_latency_s"])
-            if tenant not in committed:
-                failures.append(f"tenant '{tenant}' missing from committed table")
-                continue
-            for got, want, label in zip(committed[tenant], fresh,
-                                        ("weight", "throughput", "cache", "p99")):
-                scale = max(abs(want), 1e-12)
-                if abs(got - want) / scale > args.tolerance:
-                    failures.append(
-                        f"{tenant} {label}: committed {got:.4f} vs measured "
-                        f"{want:.4f} (drift > {args.tolerance:.0%})")
-        if failures:
-            sys.exit("EXPERIMENTS.md multitenant table drifted:\n  "
-                     + "\n  ".join(failures)
-                     + "\nRegenerate with tools/gen_tenant_table.py")
-        print("multitenant table matches the fresh run")
-        return
+            row = committed.get(tenant)
+            for i, (label, key) in enumerate(CELLS):
+                cells.append((f"{tenant} {label}",
+                              row[i] if row is not None else None,
+                              gauges[tenant][key], ".4f"))
+        return tablelib.drift_failures(cells, args.tolerance)
 
-    replacement = f"{BEGIN}\n{render_table(gauges)}\n{END}"
-    with open(args.experiments, "w") as f:
-        f.write(pattern.sub(lambda _: replacement, text))
-    print(f"updated {args.experiments}")
+    tablelib.check_or_write(args, BEGIN, END, render_table(gauges), compare,
+                            "multitenant table", "gen_tenant_table.py")
 
 
 if __name__ == "__main__":

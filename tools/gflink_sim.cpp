@@ -18,6 +18,8 @@
 
 #include "obs/chrome_trace.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry/probes.hpp"
+#include "obs/telemetry/telemetry.hpp"
 #include "workloads/concomp.hpp"
 #include "workloads/kmeans.hpp"
 #include "workloads/linreg.hpp"
@@ -46,12 +48,26 @@ struct Options {
   std::string report_out;   // run-report JSON destination
   std::string flight_dump;  // flight-recorder dump destination
   bool critical_path = false;  // print the per-category breakdown
+
+  std::string telemetry_out;      // gflink.telemetry/v1 JSONL timeline
+  std::string telemetry_prom;     // Prometheus text-format snapshot
+  double telemetry_period_ms = 0;  // 0 = off unless an export flag is given
+  double slo_ms = 0;               // tenant latency objective for slo_burn
+
+  bool telemetry_enabled() const {
+    return !telemetry_out.empty() || !telemetry_prom.empty() || telemetry_period_ms > 0;
+  }
 };
 
 // Observability accumulation across the tool's runs (both modes feed one
 // report; the trace comes from the last traced engine).
 obs::RunReport g_report;
 std::string g_trace_json;
+// The telemetry timeline spans both modes of a `--mode both` run: the
+// first engine truncates the file, the second appends to it. The
+// Prometheus snapshot keeps only the last (GFlink) run's series.
+bool g_timeline_started = false;
+std::string g_prometheus_text;
 
 void print_usage() {
   std::printf(
@@ -85,7 +101,17 @@ void print_usage() {
       "  --flight-dump FILE       write the flight-recorder rings to FILE (on the\n"
       "                           first injected fault, else at exit)\n"
       "  --critical-path          print the critical-path category breakdown\n"
-      "                           (implies span tracing)\n");
+      "                           (implies span tracing)\n"
+      "  --telemetry-out FILE     stream the live telemetry timeline to FILE\n"
+      "                           (gflink.telemetry/v1, one JSONL record per\n"
+      "                           sample period; enables the telemetry plane)\n"
+      "  --telemetry-prom FILE    write a Prometheus text-format snapshot of the\n"
+      "                           merged cluster series at exit (enables the\n"
+      "                           telemetry plane; 'both' keeps the GFlink run)\n"
+      "  --telemetry-period MS    sampling period in virtual milliseconds\n"
+      "                           (default 1; also enables the plane)\n"
+      "  --slo-ms X               tenant latency objective for the SLO burn-rate\n"
+      "                           detector (0 = detector off)\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -205,6 +231,26 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.flight_dump = v;
     } else if (arg == "--critical-path") {
       opt.critical_path = true;
+    } else if (arg == "--telemetry-out") {
+      const char* v = value();
+      if (!v) return false;
+      opt.telemetry_out = v;
+    } else if (arg == "--telemetry-prom") {
+      const char* v = value();
+      if (!v) return false;
+      opt.telemetry_prom = v;
+    } else if (arg == "--telemetry-period") {
+      const char* v = value();
+      if (!v) return false;
+      opt.telemetry_period_ms = std::atof(v);
+      if (opt.telemetry_period_ms <= 0) {
+        std::fprintf(stderr, "--telemetry-period must be positive\n");
+        return false;
+      }
+    } else if (arg == "--slo-ms") {
+      const char* v = value();
+      if (!v) return false;
+      opt.slo_ms = std::atof(v);
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
@@ -229,10 +275,46 @@ wl::RunResult run_driver(sim::Co<ResultT> (*driver)(df::Engine&, core::GFlinkRun
     wl::ensure_kernels_registered();
     runtime = std::make_unique<core::GFlinkRuntime>(engine, wl::make_gpu_config(opt.testbed));
   }
+
+  namespace tel = gflink::obs::telemetry;
+  std::unique_ptr<tel::TelemetryPlane> plane;
+  std::ofstream timeline;
+  if (opt.telemetry_enabled()) {
+    tel::TelemetryConfig tcfg;
+    const double period_ms = opt.telemetry_period_ms > 0 ? opt.telemetry_period_ms : 1.0;
+    tcfg.period = static_cast<sim::Duration>(period_ms * 1e6);
+    tcfg.slo_ms = opt.slo_ms;
+    plane = std::make_unique<tel::TelemetryPlane>(engine.sim(), engine.cluster(), tcfg);
+    tel::install_engine_probes(*plane, engine);
+    if (runtime) tel::install_runtime_probes(*plane, *runtime);
+    plane->attach_flight(&engine.cluster().flight());
+    if (!opt.telemetry_out.empty()) {
+      timeline.open(opt.telemetry_out,
+                    g_timeline_started ? std::ios::app : std::ios::trunc);
+      if (!timeline) {
+        std::fprintf(stderr, "error: could not open %s\n", opt.telemetry_out.c_str());
+      } else {
+        plane->set_timeline_sink(&timeline);
+        g_timeline_started = true;
+      }
+    }
+  }
+
   ResultT result{};
   engine.run([&](df::Engine& eng) -> sim::Co<void> {
+    if (plane) plane->start();
     result = co_await driver(eng, runtime.get(), opt.testbed, mode, cfg);
+    if (plane) plane->stop();
   });
+  if (plane) {
+    if (!opt.telemetry_prom.empty()) g_prometheus_text = plane->prometheus_text();
+    for (const auto& ev : plane->aggregator().events()) {
+      std::printf("[%s] health event @%.3f ms: %s node=%d %s%s%s value=%.2f\n",
+                  wl::mode_name(mode), static_cast<double>(ev.at) / 1e6, ev.detector.c_str(),
+                  ev.node, ev.series.c_str(), ev.tenant.empty() ? "" : " tenant=",
+                  ev.tenant.c_str(), ev.value);
+    }
+  }
   // Capture observability state before the engine is torn down.
   g_report.virtual_ns += engine.now();
   engine.export_metrics(g_report.metrics);
@@ -385,6 +467,18 @@ int run_workload(const Options& opt) {
   }
   if (!opt.flight_dump.empty()) {
     std::printf("flight dump written: %s\n", opt.flight_dump.c_str());
+  }
+  if (!opt.telemetry_out.empty() && g_timeline_started) {
+    std::printf("telemetry timeline written: %s\n", opt.telemetry_out.c_str());
+  }
+  if (!opt.telemetry_prom.empty()) {
+    std::ofstream out(opt.telemetry_prom, std::ios::binary);
+    if (!out || !(out << g_prometheus_text)) {
+      std::fprintf(stderr, "error: could not write Prometheus snapshot to %s\n",
+                   opt.telemetry_prom.c_str());
+      return 1;
+    }
+    std::printf("telemetry snapshot written: %s\n", opt.telemetry_prom.c_str());
   }
   return 0;
 }

@@ -37,6 +37,13 @@ cannot express (see docs/ARCHITECTURE.md, "Static analysis & lint"):
   R6  tier-labels    Every metric emission and span statement (record or
                      open) under src/spill/ carries a tier attribution (a
                      {"tier", ...} label or a tier-derived span name).
+  R7  telemetry      Every metric or time-series name registered under
+                     src/obs/telemetry/ (registry emissions plus
+                     add_gauge/add_counter series) carries a units suffix
+                     (_ns, _bytes, _total or _ratio), and every HealthEvent
+                     emission carries a node attribution — unitless series
+                     and unattributable health events are useless to
+                     dashboards and to the speculative-execution hook.
 
   C1  coro-capture   A lambda with a non-empty capture list whose body is
                      a coroutine (contains co_await/co_return/co_yield).
@@ -138,6 +145,11 @@ MIRROR_CHECK_RE = re.compile(r"GSTRUCT_MIRROR_CHECK\(\s*(\w+)\s*,")
 SPAN_RECORD_RE = re.compile(r"spans\(\)\s*\.\s*record\s*\(")
 SPAN_SITE_RE = re.compile(r"spans\(\)\s*\.\s*(?:record|open)\s*\(")
 
+# R7: telemetry-plane naming/attribution discipline (src/obs/telemetry/).
+TELEMETRY_DIR = "obs/telemetry/"
+TELEMETRY_UNITS_SUFFIXES = ("_ns", "_bytes", "_total", "_ratio")
+TELEMETRY_SERIES_METHODS = {"add_gauge", "add_counter"}
+
 # C2: parameter types that borrow from temporary-prone value types. A
 # detached frame must own its strings/buffers by value.
 def is_dangle_prone_type(type_text: str) -> bool:
@@ -170,7 +182,7 @@ LOCK_NAME_RE = re.compile(r"`([\w:]+)`")
 # `allow(R2) justification` and comma-separated rule lists).
 ALLOW_RE = re.compile(r"gflint:\s*allow\(([^)]*)\)\s*:?\s*(.*)", re.S)
 
-ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "C1", "C2", "C3", "L1")
+ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "C1", "C2", "C3", "L1")
 
 RULE_DESCRIPTIONS = {
     "R1": "device memory allocated outside GMemoryManager/CudaWrapper",
@@ -179,6 +191,7 @@ RULE_DESCRIPTIONS = {
     "R4": "GStruct mirror struct without a GSTRUCT_MIRROR_CHECK",
     "R5": "src/service telemetry without tenant attribution",
     "R6": "src/spill telemetry without tier attribution",
+    "R7": "telemetry series without units suffix or HealthEvent without node",
     "C1": "capturing-lambda coroutine (closure dies before the frame)",
     "C2": "detached coroutine borrowing a temporary-prone parameter",
     "C3": "detached member coroutine without a keep-alive of this",
@@ -803,12 +816,12 @@ class FileModel:
 # ---- Shared site extraction ------------------------------------------------
 
 
-def metric_sites(model):
+def metric_sites(model, methods=METRIC_METHODS):
     """(name, line, sig_index) for every metric emission with a literal name."""
     out = []
     sig = model.sig
     for i, (kind, text, line) in enumerate(sig):
-        if kind != "id" or text not in METRIC_METHODS:
+        if kind != "id" or text not in methods:
             continue
         if i + 2 >= len(sig) or sig[i + 1][1] != "(" or sig[i + 2][0] != "str":
             continue
@@ -1143,6 +1156,32 @@ def scan_file(task):
             "{\"tier\", ...} (metrics) or put the tier in the span name so "
             "the ladder stays observable per rung")
 
+    def r7():
+        if not rel.startswith(TELEMETRY_DIR):
+            return
+        series = metric_sites(model) + metric_sites(model, TELEMETRY_SERIES_METHODS)
+        for name, line, _si in sorted(series, key=lambda s: s[1]):
+            if not name.endswith(TELEMETRY_UNITS_SUFFIXES):
+                findings.append((
+                    "R7", relp, line,
+                    f"telemetry series '{name}' carries no units suffix — name it "
+                    "*_ns, *_bytes, *_total or *_ratio so the Prometheus "
+                    "exposition and the JSONL timeline stay self-describing"))
+        sig = model.sig
+        for i, (kind, text, line) in enumerate(sig):
+            if kind != "id" or text != "HealthEvent":
+                continue
+            if i + 1 >= len(sig) or sig[i + 1][1] != "{":
+                continue
+            if i > 0 and sig[i - 1][1] in ("struct", "class"):
+                continue  # the type's own definition, not an emission
+            if not re.search(r"\bnode\b", stmt_text(model, i)):
+                findings.append((
+                    "R7", relp, line,
+                    "HealthEvent emission carries no node attribution — set "
+                    ".node so the event is traceable to the node it fired on "
+                    "(the speculative-execution hook keys on it)"))
+
     def c1():
         for lam in model.lambdas:
             if lam["captures"].strip() and lam["body_co"]:
@@ -1164,6 +1203,7 @@ def scan_file(task):
     timed("R2", r2)
     timed("R5", r5)
     timed("R6", r6)
+    timed("R7", r7)
     timed("C1", c1)
 
     return {
